@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/report"
+)
+
+// TestPaperClaims is the reproduction gate: it runs the Figure 9 and
+// Figure 10 grids at the standard suite scale and requires every
+// qualitative claim of Sections 5.1–5.3 to hold. It takes a few minutes
+// and is skipped under -short.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite reproduction gate; run without -short")
+	}
+	opt := repro.Options{Seed: 1}
+
+	fig9 := repro.Figure9(opt)
+	for _, c := range report.CheckFigure9Claims(fig9) {
+		if !c.Holds {
+			t.Errorf("Figure 9 claim failed: %s (%s)", c.Claim, c.Note)
+		}
+	}
+	// Protocol correctness across the whole grid.
+	for _, app := range fig9.Apps {
+		for _, sch := range fig9.Schemes {
+			r := fig9.Cell(app, sch).Result
+			if r.OracleViolations != 0 {
+				t.Errorf("%s/%v: %d committed reads observed the wrong version",
+					app, sch, r.OracleViolations)
+			}
+			if r.Commits != r.Tasks {
+				t.Errorf("%s/%v: lost tasks", app, sch)
+			}
+		}
+	}
+
+	fig10, lazyL2 := repro.Figure10(opt)
+	for _, c := range report.CheckFigure10Claims(fig10, lazyL2) {
+		if !c.Holds {
+			t.Errorf("Figure 10 claim failed: %s (%s)", c.Claim, c.Note)
+		}
+	}
+
+	// The Section 5.4 orderings that carry the conclusions.
+	numa := repro.Summarize(fig9)
+	if numa.MultiTMVOverSingleTPct < 10 {
+		t.Errorf("NUMA MultiT&MV reduction %.1f%% too small (paper: 32%%)", numa.MultiTMVOverSingleTPct)
+	}
+	if numa.LazinessSimplePct < 10 {
+		t.Errorf("NUMA laziness reduction %.1f%% too small (paper: 30%%)", numa.LazinessSimplePct)
+	}
+	if numa.LazinessMultiTMVPct < 8 {
+		t.Errorf("NUMA laziness-on-MV reduction %.1f%% too small (paper: 24%%)", numa.LazinessMultiTMVPct)
+	}
+
+	cmp := repro.Summarize(repro.Figure11(opt))
+	if cmp.MultiTMVOverSingleTPct < 12 {
+		t.Errorf("CMP MultiT&MV reduction %.1f%% too small (paper: 23%%)", cmp.MultiTMVOverSingleTPct)
+	}
+	// Laziness must compress dramatically on the tightly-coupled machine.
+	if cmp.LazinessSimplePct > numa.LazinessSimplePct/2 {
+		t.Errorf("CMP laziness (%.1f%%) must be well below NUMA laziness (%.1f%%)",
+			cmp.LazinessSimplePct, numa.LazinessSimplePct)
+	}
+	if cmp.LazinessMultiTMVPct > 5 {
+		t.Errorf("CMP laziness-on-MV (%.1f%%) must be marginal (paper: 3%%)", cmp.LazinessMultiTMVPct)
+	}
+}

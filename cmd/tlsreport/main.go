@@ -1,0 +1,172 @@
+// tlsreport regenerates the tables and figures of the paper's evaluation.
+//
+// Usage:
+//
+//	tlsreport                 # everything (several minutes)
+//	tlsreport -only fig9      # one artifact: table1 table2 table3 fig1 fig2
+//	                          # fig4 fig5 fig6 fig8 fig9 fig10 fig11 summary
+//	tlsreport -only scaling   # extension: machine-size sweep (4-32 procs)
+//	tlsreport -apps Tree,Euler -seed 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "regenerate a single artifact")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		apps    = flag.String("apps", "", "comma-separated application subset")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		csvDir  = flag.String("csv", "", "also write raw results as CSV files into this directory")
+		svgDir  = flag.String("svg", "", "also write the performance figures as SVG charts into this directory")
+	)
+	flag.Parse()
+
+	opt := repro.Options{Seed: *seed}
+	if *apps != "" {
+		for _, name := range strings.Split(*apps, ",") {
+			p, ok := repro.AppByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tlsreport: unknown application %q\n", name)
+				os.Exit(2)
+			}
+			opt.Apps = append(opt.Apps, p)
+		}
+		// Apply the harness's standard scaling to the subset, as
+		// StandardSuite would.
+		for i := range opt.Apps {
+			opt.Apps[i] = scale(opt.Apps[i])
+		}
+	}
+	if *verbose {
+		opt.Progress = func(m, a string, s repro.Scheme, r repro.Result) {
+			fmt.Fprintf(os.Stderr, "  ran %s/%s/%v: %d cycles\n", m, a, s, r.ExecCycles)
+		}
+	}
+
+	w := os.Stdout
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		report.RenderTable1(w)
+	}
+	if want("table2") {
+		report.RenderTable2(w)
+	}
+	if want("fig2") {
+		report.RenderFigure2(w)
+	}
+	if want("fig4") {
+		report.RenderFigure4(w)
+	}
+	if want("fig8") {
+		report.RenderFigure8(w)
+	}
+	if want("fig5") {
+		repro.Figure5(w, *seed)
+	}
+	if want("fig6") {
+		repro.Figure6(w, *seed)
+	}
+	if want("fig1") || want("table3") {
+		chars := repro.Characterize(opt)
+		if want("fig1") {
+			report.RenderFigure1(w, chars)
+		}
+		if want("table3") {
+			report.RenderTable3(w, chars)
+		}
+		writeCSV(*csvDir, "characterization.csv", func(f *os.File) error {
+			return report.ExportCharacterizationCSV(f, chars)
+		})
+	}
+	var fig9 *repro.Grid
+	if want("fig9") || want("summary") {
+		fig9 = repro.Figure9(opt)
+	}
+	if want("fig9") {
+		report.RenderGrid(w, fig9, "Figure 9. Separation of task state, eager vs lazy AMM (NUMA)")
+		report.RenderAverages(w, fig9)
+		report.RenderChecks(w, report.CheckFigure9Claims(fig9))
+		writeCSV(*csvDir, "fig9.csv", func(f *os.File) error { return report.ExportGridCSV(f, fig9) })
+		writeCSV(*svgDir, "fig9.svg", func(f *os.File) error {
+			return report.RenderGridSVG(f, fig9, "Figure 9. Separation of task state (NUMA16)")
+		})
+	}
+	if want("fig10") {
+		g, lazyL2 := repro.Figure10(opt)
+		report.RenderGrid(w, g, "Figure 10. Architectural (AMM) vs future (FMM) main memory (NUMA)")
+		report.RenderAverages(w, g)
+		if lazyL2.Result.Commits > 0 {
+			fmt.Fprintf(w, "P3m under Lazy.L2 (4-MB 16-way L2): %d cycles, %d spills (vs %d under Lazy AMM)\n\n",
+				lazyL2.Result.ExecCycles, lazyL2.Result.OverflowSpills,
+				g.Cell("P3m", repro.MultiTMVLazy).Result.OverflowSpills)
+		}
+		report.RenderChecks(w, report.CheckFigure10Claims(g, lazyL2))
+		writeCSV(*csvDir, "fig10.csv", func(f *os.File) error { return report.ExportGridCSV(f, g) })
+		writeCSV(*svgDir, "fig10.svg", func(f *os.File) error {
+			return report.RenderGridSVG(f, g, "Figure 10. AMM vs FMM (NUMA16)")
+		})
+	}
+	var fig11 *repro.Grid
+	if want("fig11") || want("summary") {
+		fig11 = repro.Figure11(opt)
+	}
+	if want("fig11") {
+		report.RenderGrid(w, fig11, "Figure 11. Separation of task state, eager vs lazy AMM (CMP)")
+		report.RenderAverages(w, fig11)
+		writeCSV(*csvDir, "fig11.csv", func(f *os.File) error { return report.ExportGridCSV(f, fig11) })
+		writeCSV(*svgDir, "fig11.svg", func(f *os.File) error {
+			return report.RenderGridSVG(f, fig11, "Figure 11. Separation of task state (CMP8)")
+		})
+	}
+	if want("summary") {
+		report.RenderSummary(w, repro.Summarize(fig9), 32, 30, 24)
+		report.RenderSummary(w, repro.Summarize(fig11), 23, 9, 3)
+	}
+	if *only == "scaling" {
+		pts := repro.Scalability(opt)
+		report.RenderScalability(w, pts)
+		writeCSV(*svgDir, "scaling.svg", func(f *os.File) error {
+			return report.RenderScalabilitySVG(f, pts)
+		})
+	}
+}
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(dir, name string, write func(*os.File) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "tlsreport: writing %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s/%s\n", dir, name)
+}
+
+func scale(p repro.Profile) repro.Profile {
+	foot := 0.25
+	if p.Name == "P3m" {
+		foot = 1.0
+	}
+	return p.Scale(0.5, 0.25, foot)
+}

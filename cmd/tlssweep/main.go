@@ -1,0 +1,121 @@
+// tlssweep sweeps one workload or machine parameter across values and
+// prints a CSV of results, one row per (value, scheme) — the generic
+// sensitivity-analysis companion to the fixed figures of tlsreport.
+//
+// Usage:
+//
+//	tlssweep -app Euler -param depprob -values 0,0.05,0.1,0.2 \
+//	         -schemes "MultiT&MV Lazy AMM;MultiT&MV FMM"
+//	tlssweep -app Bdna -param procs -values 4,8,16,32
+//	tlssweep -app Track -param chunk -values 0.5,1,2,4
+//
+// Parameters: depprob, privfrac, imbalance, chunk (Rechunk factor),
+// procs (NUMA size), density (write density), sharedreads.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "Euler", "application to sweep")
+		param    = flag.String("param", "depprob", "parameter: depprob, privfrac, imbalance, chunk, procs, density, sharedreads")
+		values   = flag.String("values", "0,0.05,0.1,0.2", "comma-separated sweep values")
+		schemesF = flag.String("schemes", "MultiT&MV Lazy AMM;MultiT&MV FMM", "semicolon-separated schemes")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		tasks    = flag.Float64("tasks", 0.25, "task-count scale")
+		instr    = flag.Float64("instr", 0.1, "instruction scale")
+	)
+	flag.Parse()
+
+	base, ok := repro.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tlssweep: unknown application %q\n", *appName)
+		os.Exit(2)
+	}
+	base = base.Scale(*tasks, *instr, 0.25)
+
+	var schemes []repro.Scheme
+	for _, name := range strings.Split(*schemesF, ";") {
+		s, ok := repro.SchemeFromString(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlssweep: unknown scheme %q\n", name)
+			os.Exit(2)
+		}
+		schemes = append(schemes, s)
+	}
+
+	var vals []float64
+	for _, v := range strings.Split(*values, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlssweep: bad value %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		vals = append(vals, f)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlssweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	die(w.Write([]string{
+		"param", "value", "scheme", "exec_cycles", "speedup", "busy_frac",
+		"squash_events", "tasks_squashed", "overflow_spills", "commit_exec_pct",
+	}))
+
+	for _, v := range vals {
+		prof := base
+		mach := repro.NUMA16()
+		switch strings.ToLower(*param) {
+		case "depprob":
+			prof.DepProb = v
+			if v > 0 && prof.DepReach == 0 {
+				prof.DepReach = 12
+			}
+		case "privfrac":
+			prof.PrivFrac = v
+		case "imbalance":
+			prof.ImbalanceCV = v
+		case "chunk":
+			prof = prof.Rechunk(v)
+		case "procs":
+			mach = repro.ScalableNUMA(int(v))
+		case "density":
+			prof.WriteDensity = int(v)
+		case "sharedreads":
+			prof.SharedReadFrac = v
+		default:
+			fmt.Fprintf(os.Stderr, "tlssweep: unknown parameter %q\n", *param)
+			os.Exit(2)
+		}
+		seq := repro.RunSequential(mach, prof, *seed)
+		for _, sch := range schemes {
+			r := repro.Run(mach, sch, prof, *seed)
+			die(w.Write([]string{
+				*param,
+				strconv.FormatFloat(v, 'g', 6, 64),
+				sch.String(),
+				strconv.FormatUint(uint64(r.ExecCycles), 10),
+				strconv.FormatFloat(r.Speedup(seq.ExecCycles), 'f', 3, 64),
+				strconv.FormatFloat(r.Agg.BusyFraction(), 'f', 4, 64),
+				strconv.Itoa(r.SquashEvents),
+				strconv.Itoa(r.TasksSquashed),
+				strconv.FormatUint(r.OverflowSpills, 10),
+				strconv.FormatFloat(r.CommitExecRatio(), 'f', 2, 64),
+			}))
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// tlstrace renders a Gantt-style timeline of one simulation run — the tool
+// behind the concept figures (5 and 6): per-processor lanes of task
+// execution, commit merges, and squashes.
+//
+// Usage:
+//
+//	tlstrace -app Euler -machine cmp -scheme "MultiT&MV FMM" -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "micro", "application, or 'micro' for the concept workload")
+		machName = flag.String("machine", "numa", "machine: numa, cmp")
+		schName  = flag.String("scheme", "MultiT&MV Eager AMM", "buffering scheme")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		width    = flag.Int("width", 120, "timeline width in characters")
+		asCSV    = flag.Bool("csv", false, "emit the raw trace events as CSV instead of a chart")
+		tasks    = flag.Float64("tasks", 0.05, "task-count scale for named applications")
+	)
+	flag.Parse()
+
+	scheme, found := repro.SchemeFromString(*schName)
+	if !found {
+		fmt.Fprintf(os.Stderr, "tlstrace: unknown scheme %q\n", *schName)
+		os.Exit(2)
+	}
+
+	var prof repro.Profile
+	if *appName == "micro" {
+		prof = report.MicroWorkload(12)
+	} else {
+		p, ok := repro.AppByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlstrace: unknown application %q\n", *appName)
+			os.Exit(2)
+		}
+		prof = p.Scale(*tasks, 0.1, 0.25)
+	}
+
+	var mach *repro.Machine
+	switch strings.ToLower(*machName) {
+	case "numa":
+		mach = repro.NUMA16()
+	case "cmp":
+		mach = repro.CMP8()
+	default:
+		fmt.Fprintf(os.Stderr, "tlstrace: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+
+	s := repro.NewSimulator(mach, scheme, prof, *seed)
+	s.EnableTrace()
+	r := s.Run()
+	if *asCSV {
+		if err := report.ExportTraceCSV(os.Stdout, r); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s on %s under %s: %d tasks, %d cycles, %d squash events\n\n",
+		prof.Name, mach.Name, scheme, r.Tasks, r.ExecCycles, r.SquashEvents)
+	report.Timeline(os.Stdout, r, mach.Procs, *width)
+}

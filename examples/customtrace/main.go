@@ -1,0 +1,61 @@
+// Customtrace: run YOUR access pattern through the buffering schemes. The
+// synthetic application models cover the paper's workloads; an explicit
+// Trace lets you hand the simulator any per-task operation stream.
+//
+// The pattern here is a wavefront stencil: task i updates row i of a grid
+// reading row i-1 — a true loop-carried dependence from each task to the
+// next. Because each task publishes its row late and the next task reads
+// it early, speculation squashes constantly: the worst case for
+// speculative buffering and a pattern none of the paper's applications
+// have. Compare how the schemes cope.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const (
+		tasks    = 48
+		rowWords = 32
+		rowBase  = repro.Addr(1 << 20)
+	)
+	var streams [][]repro.Op
+	for i := 0; i < tasks; i++ {
+		var b repro.TraceBuilder
+		b.Compute(800)
+		// Read the previous task's row (the loop-carried dependence).
+		if i > 0 {
+			for w := 0; w < rowWords; w += 4 {
+				b.Read(rowBase + repro.Addr((i-1)*rowWords+w))
+			}
+		}
+		b.Compute(2400)
+		// Publish this task's row.
+		for w := 0; w < rowWords; w++ {
+			b.Write(rowBase + repro.Addr(i*rowWords+w))
+		}
+		b.Compute(400)
+		streams = append(streams, b.Ops())
+	}
+	trace := repro.NewTrace("stencil", streams, 0)
+
+	mach := repro.NUMA16()
+	fmt.Println("Wavefront stencil (every task depends on its predecessor) on NUMA16:")
+	fmt.Printf("  %-22s %-10s %-9s %-10s\n", "scheme", "cycles", "squashes", "recovery")
+	for _, scheme := range []repro.Scheme{
+		repro.SingleTEager, repro.MultiTMVEager, repro.MultiTMVLazy, repro.MultiTMVFMM,
+	} {
+		s := repro.NewSimulatorFor(mach, scheme, trace)
+		r := s.Run()
+		fmt.Printf("  %-22s %-10d %-9d %-10d\n",
+			scheme, r.ExecCycles, r.TasksSquashed, r.Agg.StallRecovery)
+	}
+	fmt.Println()
+	fmt.Println("A fully serial dependence chain defeats speculation: the MultiT schemes")
+	fmt.Println("squash nearly every task at least once, and FMM pays its slow log-walk")
+	fmt.Println("recovery on each one. SingleT simply serializes. This is the regime")
+	fmt.Println("where run-time parallelization should not be attempted at all.")
+}

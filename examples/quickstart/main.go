@@ -1,0 +1,31 @@
+// Quickstart: simulate one speculatively-parallelized loop under two
+// buffering schemes and compare them against sequential execution.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Bdna's non-analyzable loop (actfor do240), scaled down for a fast run.
+	prof := repro.Bdna().Scale(0.25, 0.1, 0.25)
+	mach := repro.NUMA16()
+
+	seq := repro.RunSequential(mach, prof, 1)
+	fmt.Printf("%s on %s: sequential execution takes %d cycles\n\n",
+		prof.Name, mach.Name, seq.ExecCycles)
+
+	for _, scheme := range []repro.Scheme{repro.SingleTEager, repro.MultiTMVLazy} {
+		r := repro.Run(mach, scheme, prof, 1)
+		fmt.Printf("%-22s %8d cycles  speedup %5.2fx  busy %4.1f%%  commit/exec %.1f%%\n",
+			scheme, r.ExecCycles, r.Speedup(seq.ExecCycles),
+			100*r.Agg.BusyFraction(), r.CommitExecRatio())
+	}
+
+	fmt.Println("\nSupports each scheme needs beyond plain caches (Table 2):")
+	for _, scheme := range []repro.Scheme{repro.SingleTEager, repro.MultiTMVLazy} {
+		fmt.Printf("  %-22s %v\n", scheme, repro.RequiredSupports(scheme).List())
+	}
+}

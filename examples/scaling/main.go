@@ -1,0 +1,41 @@
+// Scaling: how machine size changes the tradeoffs. The paper contrasts a
+// 16-node CC-NUMA with an 8-processor CMP and concludes that laziness
+// matters on large machines but barely on small tightly-coupled ones, and
+// that on large machines the benefits of multiple tasks&versions and of
+// laziness are nearly fully additive. This demo sweeps the CC-NUMA from 4
+// to 32 processors and also sweeps the task chunk size on one application
+// (the knob the evaluation fixed per application: 1-32 consecutive
+// iterations per task).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println("Sweeping CC-NUMA machine size (suite minus P3m, standard scaling)...")
+	fmt.Println()
+	points := repro.Scalability(repro.Options{Seed: 1})
+	report.RenderScalability(os.Stdout, points)
+	last := points[len(points)-1]
+	total := 100 * (1 - last.MultiTMVL)
+	fmt.Printf("additivity at %d processors: MV alone %.1f%%, laziness on top %.1f%%, together %.1f%%\n\n",
+		last.Procs, last.MultiTMVPct, last.LazinessMVPct, total)
+
+	fmt.Println("Sweeping the iteration chunk size (Euler, MultiT&MV Lazy, NUMA16):")
+	fmt.Printf("  %-8s %-8s %-10s %-9s %-8s\n", "chunk", "tasks", "cycles", "speedup", "squashes")
+	base := repro.Euler().Scale(0.5, 0.25, 0.25)
+	seq := repro.RunSequential(repro.NUMA16(), base, 1)
+	for _, f := range []float64{0.5, 1, 2, 4} {
+		p := base.Rechunk(f)
+		r := repro.Run(repro.NUMA16(), repro.MultiTMVLazy, p, 1)
+		fmt.Printf("  %-8.1f %-8d %-10d %-9.2f %-8d\n",
+			f, p.Tasks, r.ExecCycles, r.Speedup(seq.ExecCycles), r.SquashEvents)
+	}
+	fmt.Println("\nBigger chunks amortize dispatch and commit overheads but deepen the")
+	fmt.Println("damage of each squash and worsen load balance.")
+}

@@ -1,0 +1,20 @@
+// Taxonomy: print the paper's classification artifacts — the design-space
+// grid (Figure 2-(a)), the support inventory (Table 1), the upgrade path
+// (Table 2), the mapping of previously proposed schemes (Figure 4), and the
+// per-scheme limiting application characteristics (Figure 8). No simulation
+// runs: this is the analytical contribution of the paper as a data model.
+package main
+
+import (
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	report.RenderFigure2(os.Stdout)
+	report.RenderTable1(os.Stdout)
+	report.RenderTable2(os.Stdout)
+	report.RenderFigure4(os.Stdout)
+	report.RenderFigure8(os.Stdout)
+}

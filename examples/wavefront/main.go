@@ -1,0 +1,22 @@
+// Wavefront: reproduce the concept figures. Figure 5 shows four imbalanced
+// tasks on two processors under SingleT (the processor that finishes a
+// short speculative task stalls), MultiT&SV (it starts the next task but
+// stalls at the first second-version write), and MultiT&MV (it never
+// stalls). Figure 6 shows the execution and commit wavefronts: under Eager
+// AMM the serialized merges trail execution (and SingleT puts them on the
+// critical path); under Lazy AMM the token flies and the wavefront
+// disappears.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	repro.Figure5(os.Stdout, 1)
+	fmt.Println()
+	repro.Figure6(os.Stdout, 1)
+}

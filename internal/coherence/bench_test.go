@@ -1,0 +1,35 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/memsys"
+)
+
+func BenchmarkRecordWriteRead(b *testing.B) {
+	d := NewDirectory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ids.TaskID(i%64 + 1)
+		a := memsys.Addr(i % 4096)
+		d.RecordWrite(a, t)
+		d.RecordRead(a, t+1)
+		if i%64 == 63 {
+			for j := ids.TaskID(1); j <= 65; j++ {
+				d.Commit(j)
+			}
+		}
+	}
+}
+
+func BenchmarkVersionFor(b *testing.B) {
+	d := NewDirectory()
+	for t := ids.TaskID(1); t <= 16; t++ {
+		d.RecordWrite(4, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.VersionFor(4, ids.TaskID(9))
+	}
+}

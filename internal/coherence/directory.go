@@ -1,0 +1,240 @@
+// Package coherence implements the version-ordering side of the speculative
+// parallelization protocol the evaluation uses for every buffering scheme
+// (Section 4.1): it "supports multiple concurrent versions of the same
+// variable in the system, and triggers squashes only on out-of-order RAWs
+// to the same word", with a single task-ID tag per cache line.
+//
+// The directory is the centralized bookkeeping of that protocol: per-word
+// version lists ordered by producer task ID, and per-word read marks used
+// to detect out-of-order RAWs. Physical placement of version data (which
+// cache, the overflow area, or memory) is tracked by the simulator; the
+// directory answers the ordering questions: which producer's version must
+// a reader observe, and does a write violate a recorded read.
+package coherence
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/memsys"
+)
+
+// wordState is the directory entry for one word.
+type wordState struct {
+	// versions holds the producers of live versions, ascending by task ID.
+	versions []ids.TaskID
+	// readers maps an uncommitted reader task to the earliest producer
+	// whose version it observed (None = pre-section architectural data).
+	// Keeping the minimum makes the violation check conservative and exact:
+	// a later write W violates reader R iff W is ordered after the oldest
+	// value R consumed and before R itself.
+	readers map[ids.TaskID]ids.TaskID
+}
+
+// taskMarks remembers which words a task touched so that squash and commit
+// can clean up in time proportional to the task's footprint.
+type taskMarks struct {
+	writes []memsys.Addr
+	reads  []memsys.Addr
+}
+
+// Directory is the global version directory of one speculative section.
+type Directory struct {
+	words  map[memsys.Addr]*wordState
+	byTask map[ids.TaskID]*taskMarks
+
+	// Statistics.
+	violations uint64
+	reads      uint64
+	writes     uint64
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		words:  make(map[memsys.Addr]*wordState),
+		byTask: make(map[ids.TaskID]*taskMarks),
+	}
+}
+
+func (d *Directory) word(a memsys.Addr) *wordState {
+	w := d.words[a]
+	if w == nil {
+		w = &wordState{}
+		d.words[a] = w
+	}
+	return w
+}
+
+func (d *Directory) marks(t ids.TaskID) *taskMarks {
+	m := d.byTask[t]
+	if m == nil {
+		m = &taskMarks{}
+		d.byTask[t] = m
+	}
+	return m
+}
+
+// VersionFor returns the producer whose version a read by reader must
+// observe: the highest-ID producer at or before reader. None means the
+// architectural (pre-section) value.
+func (d *Directory) VersionFor(a memsys.Addr, reader ids.TaskID) ids.TaskID {
+	w := d.words[a]
+	if w == nil {
+		return ids.None
+	}
+	// First version strictly after reader; the one before it is the answer.
+	i := sort.Search(len(w.versions), func(i int) bool { return w.versions[i].After(reader) })
+	if i == 0 {
+		return ids.None
+	}
+	return w.versions[i-1]
+}
+
+// RecordRead registers that reader consumed the current correct version of
+// word a and returns that version's producer. The read mark stays until the
+// reader commits or is squashed.
+func (d *Directory) RecordRead(a memsys.Addr, reader ids.TaskID) ids.TaskID {
+	d.reads++
+	producer := d.VersionFor(a, reader)
+	w := d.word(a)
+	if w.readers == nil {
+		w.readers = make(map[ids.TaskID]ids.TaskID)
+	}
+	if prev, ok := w.readers[reader]; !ok {
+		w.readers[reader] = producer
+		d.marks(reader).reads = append(d.marks(reader).reads, a)
+	} else if producer.Before(prev) {
+		w.readers[reader] = producer
+	}
+	return producer
+}
+
+// RecordWrite registers a new version of word a produced by writer and
+// checks for an out-of-order RAW: any uncommitted reader ordered after
+// writer that consumed a version ordered before writer should have read
+// this value. It returns the earliest such reader (the task to squash,
+// together with its successors), or None when the write is safe.
+//
+// A task has at most a single version of any given variable, so a repeated
+// write by the same task is idempotent here.
+func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
+	d.writes++
+	w := d.word(a)
+	i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(writer) })
+	if i == len(w.versions) || w.versions[i] != writer {
+		w.versions = append(w.versions, ids.None)
+		copy(w.versions[i+1:], w.versions[i:])
+		w.versions[i] = writer
+		d.marks(writer).writes = append(d.marks(writer).writes, a)
+	}
+	victim := ids.None
+	for reader, consumed := range w.readers {
+		if reader.After(writer) && consumed.Before(writer) {
+			if victim == ids.None || reader.Before(victim) {
+				victim = reader
+			}
+		}
+	}
+	if victim != ids.None {
+		d.violations++
+	}
+	return victim
+}
+
+// Squash removes every version produced and every read mark left by task t.
+// The simulator calls it for each squashed task before re-execution.
+func (d *Directory) Squash(t ids.TaskID) {
+	m := d.byTask[t]
+	if m == nil {
+		return
+	}
+	for _, a := range m.writes {
+		w := d.words[a]
+		if w == nil {
+			continue
+		}
+		i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(t) })
+		if i < len(w.versions) && w.versions[i] == t {
+			w.versions = append(w.versions[:i], w.versions[i+1:]...)
+		}
+	}
+	for _, a := range m.reads {
+		if w := d.words[a]; w != nil {
+			delete(w.readers, t)
+		}
+	}
+	delete(d.byTask, t)
+}
+
+// Commit finalizes task t: its read marks are dropped (no uncommitted
+// predecessor writer can exist any more) and versions it superseded are
+// pruned (no live reader can ever need a version older than a committed
+// one). Pruned producers are reported so the simulator can drop any
+// lingering storage for them.
+func (d *Directory) Commit(t ids.TaskID) (pruned []PrunedVersion) {
+	m := d.byTask[t]
+	if m == nil {
+		return nil
+	}
+	for _, a := range m.reads {
+		if w := d.words[a]; w != nil {
+			delete(w.readers, t)
+		}
+	}
+	for _, a := range m.writes {
+		w := d.words[a]
+		if w == nil {
+			continue
+		}
+		i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(t) })
+		for _, old := range w.versions[:i] {
+			pruned = append(pruned, PrunedVersion{Addr: a, Producer: old})
+		}
+		if i > 0 {
+			w.versions = append(w.versions[:0], w.versions[i:]...)
+		}
+	}
+	delete(d.byTask, t)
+	return pruned
+}
+
+// PrunedVersion names a superseded version removed at commit time.
+type PrunedVersion struct {
+	Addr     memsys.Addr
+	Producer ids.TaskID
+}
+
+// WordsWritten returns the number of distinct words task t has live writes
+// for (its written footprint, in words).
+func (d *Directory) WordsWritten(t ids.TaskID) int {
+	if m := d.byTask[t]; m != nil {
+		return len(m.writes)
+	}
+	return 0
+}
+
+// WrittenAddrs returns the distinct words task t has live writes for.
+func (d *Directory) WrittenAddrs(t ids.TaskID) []memsys.Addr {
+	if m := d.byTask[t]; m != nil {
+		return m.writes
+	}
+	return nil
+}
+
+// LiveWords returns the number of directory entries (for memory-bound
+// tests).
+func (d *Directory) LiveWords() int { return len(d.words) }
+
+// VersionCount returns the number of live versions of word a.
+func (d *Directory) VersionCount(a memsys.Addr) int {
+	if w := d.words[a]; w != nil {
+		return len(w.versions)
+	}
+	return 0
+}
+
+// Stats returns cumulative (reads, writes, violations detected).
+func (d *Directory) Stats() (reads, writes, violations uint64) {
+	return d.reads, d.writes, d.violations
+}

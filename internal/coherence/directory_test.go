@@ -1,0 +1,266 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/memsys"
+)
+
+func TestVersionForEmpty(t *testing.T) {
+	d := NewDirectory()
+	if got := d.VersionFor(4, ids.TaskID(3)); got != ids.None {
+		t.Fatalf("empty directory returned %v", got)
+	}
+}
+
+func TestVersionForPicksLatestPredecessor(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(2))
+	d.RecordWrite(4, ids.TaskID(5))
+	d.RecordWrite(4, ids.TaskID(8))
+	tests := []struct {
+		reader, want ids.TaskID
+	}{
+		{ids.TaskID(1), ids.None},
+		{ids.TaskID(2), ids.TaskID(2)},
+		{ids.TaskID(4), ids.TaskID(2)},
+		{ids.TaskID(5), ids.TaskID(5)},
+		{ids.TaskID(7), ids.TaskID(5)},
+		{ids.TaskID(9), ids.TaskID(8)},
+	}
+	for _, tt := range tests {
+		if got := d.VersionFor(4, tt.reader); got != tt.want {
+			t.Errorf("VersionFor(reader %v) = %v, want %v", tt.reader, got, tt.want)
+		}
+	}
+}
+
+func TestOutOfOrderWritesKeepSortedVersions(t *testing.T) {
+	d := NewDirectory()
+	// Successor writes first — the common case under speculation.
+	d.RecordWrite(4, ids.TaskID(7))
+	d.RecordWrite(4, ids.TaskID(3))
+	if got := d.VersionFor(4, ids.TaskID(5)); got != ids.TaskID(3) {
+		t.Fatalf("VersionFor = %v, want T2's version", got)
+	}
+	if d.VersionCount(4) != 2 {
+		t.Fatalf("VersionCount = %d", d.VersionCount(4))
+	}
+}
+
+func TestRepeatedWriteIsIdempotent(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(3))
+	d.RecordWrite(4, ids.TaskID(3))
+	if d.VersionCount(4) != 1 {
+		t.Fatalf("VersionCount = %d after repeated write", d.VersionCount(4))
+	}
+}
+
+func TestInOrderRAWIsSafe(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(2))
+	if got := d.RecordRead(4, ids.TaskID(5)); got != ids.TaskID(2) {
+		t.Fatalf("read consumed %v", got)
+	}
+	// A later write by an even later task does not violate the read.
+	if v := d.RecordWrite(4, ids.TaskID(7)); v != ids.None {
+		t.Fatalf("in-order write flagged violation of %v", v)
+	}
+}
+
+func TestOutOfOrderRAWViolation(t *testing.T) {
+	d := NewDirectory()
+	d.RecordRead(4, ids.TaskID(5)) // consumed architectural data
+	if v := d.RecordWrite(4, ids.TaskID(3)); v != ids.TaskID(5) {
+		t.Fatalf("violation victim = %v, want T4", v)
+	}
+	_, _, violations := d.Stats()
+	if violations != 1 {
+		t.Fatalf("violations = %d", violations)
+	}
+}
+
+func TestViolationPicksEarliestReader(t *testing.T) {
+	d := NewDirectory()
+	d.RecordRead(4, ids.TaskID(5))
+	d.RecordRead(4, ids.TaskID(8))
+	d.RecordRead(4, ids.TaskID(2)) // predecessor of the writer: unaffected
+	if v := d.RecordWrite(4, ids.TaskID(3)); v != ids.TaskID(5) {
+		t.Fatalf("victim = %v, want the earliest violated reader T4", v)
+	}
+}
+
+func TestReaderOfInterveningVersionNotViolated(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(5))
+	d.RecordRead(4, ids.TaskID(7)) // consumed T4's version
+	// An out-of-order write from before the consumed version is harmless.
+	if v := d.RecordWrite(4, ids.TaskID(3)); v != ids.None {
+		t.Fatalf("write flagged %v despite intervening version", v)
+	}
+}
+
+func TestOwnReadNotViolatedByPredecessorWrite(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(6))
+	d.RecordRead(4, ids.TaskID(6)) // task reads its own version
+	if v := d.RecordWrite(4, ids.TaskID(3)); v != ids.None {
+		t.Fatalf("own-version read flagged as violated: %v", v)
+	}
+}
+
+func TestMinConsumedVersionIsKept(t *testing.T) {
+	d := NewDirectory()
+	d.RecordRead(4, ids.TaskID(9)) // consumed architectural (None)
+	d.RecordWrite(4, ids.TaskID(8))
+	d.RecordRead(4, ids.TaskID(9)) // now consumes T7's version
+	// T2's write is after None and before T8: the FIRST read was violated.
+	if v := d.RecordWrite(4, ids.TaskID(3)); v != ids.TaskID(9) {
+		t.Fatalf("earliest consumed version not retained (victim %v)", v)
+	}
+}
+
+func TestSquashRemovesVersionsAndMarks(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(5))
+	d.RecordRead(8, ids.TaskID(5))
+	d.Squash(ids.TaskID(5))
+	if d.VersionCount(4) != 0 {
+		t.Fatal("squashed version survived")
+	}
+	if v := d.RecordWrite(8, ids.TaskID(2)); v != ids.None {
+		t.Fatalf("squashed read mark still triggers violations: %v", v)
+	}
+	if got := d.VersionFor(4, ids.TaskID(9)); got != ids.None {
+		t.Fatalf("reader sees squashed version %v", got)
+	}
+	d.Squash(ids.TaskID(5)) // second squash is a no-op
+}
+
+func TestCommitDropsReadMarksAndPrunes(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(1))
+	d.RecordWrite(4, ids.TaskID(2))
+	d.RecordRead(4, ids.TaskID(2))
+	pruned := d.Commit(ids.TaskID(2))
+	if len(pruned) != 1 || pruned[0].Producer != ids.TaskID(1) || pruned[0].Addr != 4 {
+		t.Fatalf("pruned = %+v, want T0's version of word 4", pruned)
+	}
+	if d.VersionCount(4) != 1 {
+		t.Fatalf("VersionCount = %d after pruning", d.VersionCount(4))
+	}
+	// The committed version remains visible to later readers.
+	if got := d.VersionFor(4, ids.TaskID(9)); got != ids.TaskID(2) {
+		t.Fatalf("later reader sees %v", got)
+	}
+}
+
+func TestCommitUnknownTaskIsNoop(t *testing.T) {
+	d := NewDirectory()
+	if pruned := d.Commit(ids.TaskID(3)); pruned != nil {
+		t.Fatalf("commit of unseen task pruned %v", pruned)
+	}
+}
+
+func TestWordsWritten(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(1))
+	d.RecordWrite(8, ids.TaskID(1))
+	d.RecordWrite(4, ids.TaskID(1)) // duplicate
+	if got := d.WordsWritten(ids.TaskID(1)); got != 2 {
+		t.Fatalf("WordsWritten = %d, want 2", got)
+	}
+	if got := len(d.WrittenAddrs(ids.TaskID(1))); got != 2 {
+		t.Fatalf("WrittenAddrs = %d entries", got)
+	}
+	if d.WordsWritten(ids.TaskID(9)) != 0 {
+		t.Fatal("unknown task has nonzero footprint")
+	}
+}
+
+// Property test: the directory agrees with a brute-force oracle over random
+// interleavings of reads and writes (no squashes), on both version
+// resolution and violation detection.
+func TestDirectoryOracleProperty(t *testing.T) {
+	type op struct {
+		write bool
+		addr  uint8
+		task  uint8
+	}
+	f := func(raw []uint32) bool {
+		d := NewDirectory()
+		// Oracle state.
+		type mark struct {
+			reader   ids.TaskID
+			consumed ids.TaskID
+		}
+		versions := map[memsys.Addr][]ids.TaskID{}
+		marks := map[memsys.Addr][]mark{}
+		oracleVersionFor := func(a memsys.Addr, r ids.TaskID) ids.TaskID {
+			best := ids.None
+			for _, v := range versions[a] {
+				if !v.After(r) && v.After(best) {
+					best = v
+				}
+			}
+			return best
+		}
+		for _, x := range raw {
+			o := op{write: x&1 == 0, addr: uint8(x >> 1 & 3), task: uint8(x >> 3 & 7)}
+			a := memsys.Addr(o.addr)
+			task := ids.TaskID(o.task) + 1
+			if o.write {
+				// Oracle violation check.
+				want := ids.None
+				for _, m := range marks[a] {
+					if m.reader.After(task) && m.consumed.Before(task) {
+						if want == ids.None || m.reader.Before(want) {
+							want = m.reader
+						}
+					}
+				}
+				got := d.RecordWrite(a, task)
+				if got != want {
+					return false
+				}
+				present := false
+				for _, v := range versions[a] {
+					if v == task {
+						present = true
+					}
+				}
+				if !present {
+					versions[a] = append(versions[a], task)
+				}
+			} else {
+				want := oracleVersionFor(a, task)
+				got := d.RecordRead(a, task)
+				if got != want {
+					return false
+				}
+				marks[a] = append(marks[a], mark{task, want})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiveWordsBounded(t *testing.T) {
+	d := NewDirectory()
+	for task := ids.TaskID(1); task <= 100; task++ {
+		d.RecordWrite(4, task)
+		d.Commit(task)
+	}
+	if d.VersionCount(4) != 1 {
+		t.Fatalf("VersionCount = %d; commit pruning failed", d.VersionCount(4))
+	}
+	if d.LiveWords() != 1 {
+		t.Fatalf("LiveWords = %d", d.LiveWords())
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+// ExistingScheme is one previously proposed thread-level speculation scheme
+// placed in the taxonomy — an entry of Figure 4.
+type ExistingScheme struct {
+	Name string
+	Sep  Separation
+	// Merge is the merging axis; EagerLazyNA marks schemes for which the
+	// Eager/Lazy distinction does not apply (DDSM: one task per processor
+	// per speculative section).
+	Merge Merging
+	// MergeNA is set when the Eager/Lazy distinction does not apply.
+	MergeNA bool
+	// CoarseRecovery marks software schemes whose MHB holds only the state
+	// from before the whole speculative section (LRPD, SUDS, ...): a
+	// violation reverts the entire section, which makes them effectively
+	// SingleT.
+	CoarseRecovery bool
+	// Where speculative state is buffered, from Section 3.2.
+	Buffering string
+}
+
+// ExistingSchemes returns the Figure 4 registry.
+func ExistingSchemes() []ExistingScheme {
+	return []ExistingScheme{
+		{Name: "Multiscalar (hierarchical ARB)", Sep: SingleT, Merge: EagerAMM,
+			Buffering: "one stage of the global ARB"},
+		{Name: "Superthreaded", Sep: SingleT, Merge: EagerAMM,
+			Buffering: "the Memory Buffer"},
+		{Name: "MDT", Sep: SingleT, Merge: EagerAMM,
+			Buffering: "the L1"},
+		{Name: "Marcuello99", Sep: SingleT, Merge: EagerAMM,
+			Buffering: "register file plus a shared Multi-Value cache"},
+		{Name: "Multiscalar (SVC)", Sep: SingleT, Merge: LazyAMM,
+			Buffering: "processor caches; committed versions linger (VOL ordering)"},
+		{Name: "DDSM", Sep: SingleT, Merge: EagerAMM, MergeNA: true,
+			Buffering: "processor caches; one task per processor per section"},
+		{Name: "Hydra", Sep: MultiTMV, Merge: EagerAMM,
+			Buffering: "buffers between L1 and L2, one per task"},
+		{Name: "Steffan97&00", Sep: MultiTMV, Merge: EagerAMM,
+			Buffering: "L1 (and in some cases L2); also has a MultiT&SV design"},
+		{Name: "Steffan97&00 (SV design)", Sep: MultiTSV, Merge: EagerAMM,
+			Buffering: "cache not designed to hold multiple versions of a variable"},
+		{Name: "Cintra00", Sep: MultiTMV, Merge: EagerAMM,
+			Buffering: "L1/L2 with per-word version support"},
+		{Name: "Prvulovic01", Sep: MultiTMV, Merge: LazyAMM,
+			Buffering: "L2 plus overflow area; committed versions merge lazily"},
+		{Name: "Zhang99&T", Sep: MultiTMV, Merge: FMM,
+			Buffering: "hardware logs form the MHB"},
+		{Name: "Garzaran01", Sep: MultiTMV, Merge: FMM,
+			Buffering: "software log structures in caches or memory"},
+		{Name: "LRPD", Sep: SingleT, Merge: FMM, CoarseRecovery: true,
+			Buffering: "software copying; plain caches"},
+		{Name: "SUDS", Sep: SingleT, Merge: FMM, CoarseRecovery: true,
+			Buffering: "software copying; plain caches"},
+	}
+}
+
+// LimitingCharacteristic is an application behaviour that limits the
+// performance of one or more schemes — the annotations of Figure 8.
+type LimitingCharacteristic string
+
+const (
+	// LimitLoadImbalance — task load imbalance stalls SingleT processors.
+	LimitLoadImbalance LimitingCharacteristic = "task load imbalance"
+	// LimitImbalancePlusPriv — load imbalance combined with
+	// mostly-privatization patterns stalls MultiT&SV processors.
+	LimitImbalancePlusPriv LimitingCharacteristic = "task load imbalance + mostly-privatization patterns"
+	// LimitCommitWavefront — the task commit wavefront appears in the
+	// critical path of Eager AMM schemes.
+	LimitCommitWavefront LimitingCharacteristic = "task commit wavefront in critical path"
+	// LimitCacheOverflow — cache overflow due to capacity or conflicts
+	// penalizes AMM schemes (overflow-area accesses).
+	LimitCacheOverflow LimitingCharacteristic = "cache overflow due to capacity or conflicts"
+	// LimitFrequentSquashes — frequent recoveries from dependence
+	// violations penalize FMM schemes (log-walk recovery).
+	LimitFrequentSquashes LimitingCharacteristic = "frequent recoveries from dependence violations"
+)
+
+// Limits returns the application characteristics expected to limit the
+// performance of the given scheme (Figure 8).
+func Limits(s Scheme) []LimitingCharacteristic {
+	var out []LimitingCharacteristic
+	switch s.Sep {
+	case SingleT:
+		out = append(out, LimitLoadImbalance)
+	case MultiTSV:
+		out = append(out, LimitImbalancePlusPriv)
+	}
+	if s.Merge == EagerAMM {
+		out = append(out, LimitCommitWavefront)
+	}
+	if s.Merge != FMM {
+		out = append(out, LimitCacheOverflow)
+	} else {
+		out = append(out, LimitFrequentSquashes)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package core
+
+// Support is one of the hardware/software mechanisms of Table 1.
+type Support uint8
+
+const (
+	// CTID — storage and checking logic for a task-ID field in each cache
+	// line.
+	CTID Support = iota
+	// CRL — advanced logic in the cache to service external requests for
+	// versions (select, among multiple lines with the same address tag, the
+	// highest producer at or below the requester, and combine words).
+	CRL
+	// MTID — a task ID for each speculative variable in memory and the
+	// comparison logic to reject stale write-backs.
+	MTID
+	// VCL — logic for combining/invalidating committed versions so that
+	// main memory is updated in version order under Lazy AMM.
+	VCL
+	// ULOG — logic and storage to support undo logging (the MHB).
+	ULOG
+)
+
+// AllSupports lists the mechanisms of Table 1 in presentation order.
+func AllSupports() []Support { return []Support{CTID, CRL, MTID, VCL, ULOG} }
+
+func (s Support) String() string {
+	switch s {
+	case CTID:
+		return "CTID"
+	case CRL:
+		return "CRL"
+	case MTID:
+		return "MTID"
+	case VCL:
+		return "VCL"
+	case ULOG:
+		return "ULOG"
+	default:
+		return "Support(?)"
+	}
+}
+
+// Description returns the Table 1 description of the mechanism.
+func (s Support) Description() string {
+	switch s {
+	case CTID:
+		return "Storage and checking logic for a task-ID field in each cache line"
+	case CRL:
+		return "Advanced logic in the cache to service external requests for versions"
+	case MTID:
+		return "Task ID for each speculative variable in memory and needed comparison logic"
+	case VCL:
+		return "Logic for combining/invalidating committed versions"
+	case ULOG:
+		return "Logic and storage to support logging"
+	default:
+		return ""
+	}
+}
+
+// SupportSet is the set of mechanisms a scheme requires.
+type SupportSet map[Support]bool
+
+// Has reports membership.
+func (ss SupportSet) Has(s Support) bool { return ss[s] }
+
+// List returns the members in Table 1 order.
+func (ss SupportSet) List() []Support {
+	var out []Support
+	for _, s := range AllSupports() {
+		if ss[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RequiredSupports returns the mechanisms scheme needs beyond plain caches,
+// following Section 3.3:
+//
+//   - MultiT (SV or MV) needs CTID; MV additionally needs CRL.
+//   - Lazy AMM needs CTID and version-ordering for in-order merging — VCL
+//     (what we model) or MTID (the Zhang99&T alternative).
+//   - FMM needs ULOG (unless maintained in software), MTID (the VCL "would
+//     not work" because earlier versions may not exist yet), and CTID even
+//     under SingleT — which is why the shaded boxes are uninteresting.
+func RequiredSupports(s Scheme) SupportSet {
+	ss := make(SupportSet)
+	if s.Coarse {
+		// Coarse-recovery schemes "typically use no hardware support for
+		// buffering beyond plain caches": everything is software.
+		return ss
+	}
+	if s.Sep != SingleT {
+		ss[CTID] = true
+	}
+	if s.Sep == MultiTMV {
+		ss[CRL] = true
+	}
+	switch s.Merge {
+	case LazyAMM:
+		ss[CTID] = true
+		ss[VCL] = true
+	case FMM:
+		ss[CTID] = true
+		ss[MTID] = true
+		if !s.SoftwareLog {
+			ss[ULOG] = true
+		}
+	}
+	return ss
+}
+
+// ComplexityRank orders schemes by implementation complexity as argued in
+// Section 3.3.5: supports are weighted by how global their changes are.
+// CRL is a local cache change; VCL touches the coherence protocol; MTID is
+// "arguably more complex than VCL"; ULOG adds storage and sequencing.
+func ComplexityRank(s Scheme) int {
+	weights := map[Support]int{CTID: 1, CRL: 1, VCL: 2, MTID: 3, ULOG: 2}
+	rank := 0
+	for sup := range RequiredSupports(s) {
+		rank += weights[sup]
+	}
+	return rank
+}
+
+// UpgradeStep is one row of Table 2: moving from one design point to a
+// strictly more capable one, the benefit obtained and the support added.
+type UpgradeStep struct {
+	From, To Scheme
+	Benefit  string
+	Added    []Support
+}
+
+// UpgradePath returns Table 2: the feature-upgrade path explored by the
+// tradeoff analysis, in decreasing complexity-effectiveness.
+func UpgradePath() []UpgradeStep {
+	return []UpgradeStep{
+		{
+			From:    SingleTEager,
+			To:      MultiTSVEager,
+			Benefit: "Tolerate load imbalance without mostly-privatization access patterns",
+			Added:   []Support{CTID},
+		},
+		{
+			From:    MultiTSVEager,
+			To:      MultiTMVEager,
+			Benefit: "Tolerate load imbalance even with mostly-privatization access patterns",
+			Added:   []Support{CRL},
+		},
+		{
+			From:    MultiTMVEager,
+			To:      MultiTMVLazy,
+			Benefit: "Remove commit wavefront from critical path",
+			Added:   []Support{VCL}, // or MTID; CTID already present
+		},
+		{
+			From:    MultiTMVLazy,
+			To:      MultiTMVFMM,
+			Benefit: "Faster version commit but slower version recovery",
+			Added:   []Support{ULOG, MTID}, // MTID replaces VCL
+		},
+	}
+}

@@ -1,0 +1,239 @@
+// Package core implements the paper's primary contribution: the taxonomy of
+// approaches to buffer and manage multi-version speculative memory state in
+// multiprocessors (Section 3), the support-requirement and upgrade-path
+// analysis (Tables 1 and 2), the mapping of previously proposed schemes
+// onto the taxonomy (Figure 4), the per-scheme limiting application
+// characteristics (Figure 8), and the behavioral policy each design point
+// imposes on the memory system, which the simulator enforces.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Separation classifies how the speculative state in an individual
+// processor's buffer is separated — the vertical axis of Figure 2-(a).
+type Separation uint8
+
+const (
+	// SingleT buffers the state of a single speculative task at a time. A
+	// processor that finishes a speculative task stalls until the task
+	// commits.
+	SingleT Separation = iota
+	// MultiTSV buffers multiple speculative tasks but only a single
+	// speculative version of any given variable. The processor stalls when a
+	// task is about to create a second local speculative version.
+	MultiTSV
+	// MultiTMV buffers multiple speculative tasks and multiple speculative
+	// versions of the same variable.
+	MultiTMV
+)
+
+// Separations lists the axis values in increasing support order.
+func Separations() []Separation { return []Separation{SingleT, MultiTSV, MultiTMV} }
+
+func (s Separation) String() string {
+	switch s {
+	case SingleT:
+		return "SingleT"
+	case MultiTSV:
+		return "MultiT&SV"
+	case MultiTMV:
+		return "MultiT&MV"
+	default:
+		return fmt.Sprintf("Separation(%d)", uint8(s))
+	}
+}
+
+// Merging classifies how task state is merged with main memory — the
+// horizontal axis of Figure 2-(a).
+type Merging uint8
+
+const (
+	// EagerAMM merges a task's state with (architectural) main memory
+	// strictly at commit time.
+	EagerAMM Merging = iota
+	// LazyAMM merges committed versions with main memory at or after commit
+	// time, on displacement or external request.
+	LazyAMM
+	// FMM lets versions merge with (future) main memory at any time; an
+	// undo log (the MHB) enables recovery.
+	FMM
+)
+
+// Mergings lists the axis values in increasing support order.
+func Mergings() []Merging { return []Merging{EagerAMM, LazyAMM, FMM} }
+
+func (m Merging) String() string {
+	switch m {
+	case EagerAMM:
+		return "Eager AMM"
+	case LazyAMM:
+		return "Lazy AMM"
+	case FMM:
+		return "FMM"
+	default:
+		return fmt.Sprintf("Merging(%d)", uint8(m))
+	}
+}
+
+// Scheme is one point of the design space: a separation policy crossed
+// with a merging policy, plus the software-log variant of FMM evaluated as
+// FMM.Sw in Figure 10.
+type Scheme struct {
+	Sep   Separation
+	Merge Merging
+	// SoftwareLog selects the software implementation of the undo log
+	// (FMM.Sw): the MHB is maintained by plain instructions added to the
+	// application, eliminating the ULOG hardware at a small run-time cost.
+	// Only meaningful for FMM.
+	SoftwareLog bool
+	// Coarse selects coarse-grain recovery (the LRPD/SUDS class of Figure
+	// 4): no buffering hardware beyond plain caches, software access
+	// marking, violations tested at the end of the speculative section, and
+	// on failure the state reverts to the beginning of the entire section —
+	// it re-executes serially. Requires SingleT + FMM + SoftwareLog (the
+	// corner the paper maps these schemes to).
+	Coarse bool
+}
+
+// The canonical design points evaluated in the paper.
+var (
+	SingleTEager  = Scheme{Sep: SingleT, Merge: EagerAMM}
+	SingleTLazy   = Scheme{Sep: SingleT, Merge: LazyAMM}
+	MultiTSVEager = Scheme{Sep: MultiTSV, Merge: EagerAMM}
+	MultiTSVLazy  = Scheme{Sep: MultiTSV, Merge: LazyAMM}
+	MultiTMVEager = Scheme{Sep: MultiTMV, Merge: EagerAMM}
+	MultiTMVLazy  = Scheme{Sep: MultiTMV, Merge: LazyAMM}
+	MultiTMVFMM   = Scheme{Sep: MultiTMV, Merge: FMM}
+	MultiTMVFMMSw = Scheme{Sep: MultiTMV, Merge: FMM, SoftwareLog: true}
+
+	// CoarseRecovery is the LRPD/SUDS-style software-only baseline: run the
+	// loop fully in parallel with software access marking, test for
+	// cross-task dependences at the end, and re-execute the whole section
+	// serially if the test fails.
+	CoarseRecovery = Scheme{Sep: SingleT, Merge: FMM, SoftwareLog: true, Coarse: true}
+)
+
+// AllSchemes returns every design point the paper models — the non-shaded
+// boxes of Figure 2-(a) plus the FMM.Sw variant.
+func AllSchemes() []Scheme {
+	return []Scheme{
+		SingleTEager, SingleTLazy,
+		MultiTSVEager, MultiTSVLazy,
+		MultiTMVEager, MultiTMVLazy,
+		MultiTMVFMM, MultiTMVFMMSw,
+	}
+}
+
+// ExtendedSchemes returns the paper's evaluated design points plus the
+// coarse-recovery software baseline of Figure 4.
+func ExtendedSchemes() []Scheme {
+	return append(AllSchemes(), CoarseRecovery)
+}
+
+// SchemeFromString parses a scheme by its String() name (case-insensitive),
+// e.g. "MultiT&MV Lazy AMM" or "SingleT Eager AMM".
+func SchemeFromString(name string) (Scheme, bool) {
+	for _, s := range ExtendedSchemes() {
+		if strings.EqualFold(s.String(), name) {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}
+
+// Interesting reports whether the design point is worth building. SingleT
+// FMM and MultiT&SV FMM are shaded in Figure 2-(a): FMM needs task-ID tags
+// on all cached versions even under SingleT, so "SingleT FMM needs nearly
+// as much hardware as MultiT&SV FMM, without the latter's potential
+// benefits", and likewise for MultiT&SV FMM versus MultiT&MV FMM.
+func (s Scheme) Interesting() bool {
+	if s.Coarse {
+		return true // "except for coarse recovery"
+	}
+	return !(s.Merge == FMM && s.Sep != MultiTMV)
+}
+
+// Valid reports whether the scheme is self-consistent (SoftwareLog only
+// applies to FMM; Coarse pins the LRPD corner).
+func (s Scheme) Valid() bool {
+	if s.SoftwareLog && s.Merge != FMM {
+		return false
+	}
+	if s.Coarse {
+		return s.Sep == SingleT && s.Merge == FMM && s.SoftwareLog
+	}
+	return true
+}
+
+func (s Scheme) String() string {
+	if s.Coarse {
+		return "Coarse Recovery (LRPD)"
+	}
+	if s.Merge == FMM {
+		if s.SoftwareLog {
+			return s.Sep.String() + " FMM.Sw"
+		}
+		return s.Sep.String() + " FMM"
+	}
+	return s.Sep.String() + " " + s.Merge.String()
+}
+
+// ShortName returns the compact label used in the figures ("E"/"L" columns
+// of Figures 9 and 11, bar labels of Figure 10).
+func (s Scheme) ShortName() string {
+	if s.Coarse {
+		return "Coarse"
+	}
+	switch s.Merge {
+	case EagerAMM:
+		return "Eager"
+	case LazyAMM:
+		return "Lazy"
+	default:
+		if s.SoftwareLog {
+			return "FMM.Sw"
+		}
+		return "FMM"
+	}
+}
+
+// Behavioral policy — what each design point obliges the memory system to
+// do. The simulator consults these instead of switching on scheme names.
+
+// MultipleTasksPerProc reports whether a processor can start a new
+// speculative task before its previous one commits. Coarse-recovery
+// schemes run the loop as a doall — nothing ever waits for the commit
+// token mid-section (the "effectively SingleT" of Figure 4 refers to the
+// recovery granularity, not to mid-loop stalling).
+func (s Scheme) MultipleTasksPerProc() bool { return s.Sep != SingleT || s.Coarse }
+
+// StallsOnSecondLocalVersion reports whether creating a second local
+// speculative version of a line stalls the processor (MultiT&SV).
+func (s Scheme) StallsOnSecondLocalVersion() bool { return s.Sep == MultiTSV }
+
+// MergesAtCommit reports whether commit must write the task's dirty state
+// back to memory before passing the token (Eager AMM).
+func (s Scheme) MergesAtCommit() bool { return s.Merge == EagerAMM }
+
+// KeepsCommittedVersionsInCache reports whether committed versions linger
+// in caches after commit (Lazy AMM).
+func (s Scheme) KeepsCommittedVersionsInCache() bool { return s.Merge == LazyAMM }
+
+// UsesUndoLog reports whether the scheme maintains a memory-system history
+// buffer (FMM).
+func (s Scheme) UsesUndoLog() bool { return s.Merge == FMM }
+
+// UsesOverflowArea reports whether displaced speculative versions must be
+// kept in the per-processor overflow area (AMM schemes: main memory may
+// not be polluted with speculative state). Under FMM a speculative version
+// may be written back to memory at any time instead.
+func (s Scheme) UsesOverflowArea() bool { return s.Merge != FMM }
+
+// MemoryNeedsMTID reports whether main memory must filter stale
+// write-backs by task ID. Required by FMM (even uncommitted versions reach
+// memory); an alternative to the VCL for Lazy AMM (we model Lazy AMM with
+// the VCL, and ablate the MTID alternative).
+func (s Scheme) MemoryNeedsMTID() bool { return s.Merge == FMM }

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAxisStrings(t *testing.T) {
+	if SingleT.String() != "SingleT" || MultiTSV.String() != "MultiT&SV" || MultiTMV.String() != "MultiT&MV" {
+		t.Fatal("Separation strings wrong")
+	}
+	if EagerAMM.String() != "Eager AMM" || LazyAMM.String() != "Lazy AMM" || FMM.String() != "FMM" {
+		t.Fatal("Merging strings wrong")
+	}
+	if Separation(9).String() != "Separation(9)" || Merging(9).String() != "Merging(9)" {
+		t.Fatal("unknown axis strings wrong")
+	}
+}
+
+func TestAxesComplete(t *testing.T) {
+	if len(Separations()) != 3 || len(Mergings()) != 3 {
+		t.Fatal("the taxonomy is a 3x3 grid")
+	}
+}
+
+func TestAllSchemes(t *testing.T) {
+	all := AllSchemes()
+	if len(all) != 8 {
+		t.Fatalf("AllSchemes = %d points, want 8 (6 AMM boxes + FMM + FMM.Sw)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if !s.Valid() {
+			t.Errorf("scheme %v is invalid", s)
+		}
+		if !s.Interesting() {
+			t.Errorf("scheme %v is a shaded (uninteresting) box", s)
+		}
+		if seen[s.String()] {
+			t.Errorf("duplicate scheme %v", s)
+		}
+		seen[s.String()] = true
+	}
+}
+
+func TestShadedBoxesUninteresting(t *testing.T) {
+	for _, sep := range []Separation{SingleT, MultiTSV} {
+		s := Scheme{Sep: sep, Merge: FMM}
+		if s.Interesting() {
+			t.Errorf("%v must be shaded: FMM needs CTID even under %v", s, sep)
+		}
+	}
+	if !MultiTMVFMM.Interesting() {
+		t.Error("MultiT&MV FMM is a modelled design point")
+	}
+}
+
+func TestSoftwareLogOnlyForFMM(t *testing.T) {
+	bad := Scheme{Sep: MultiTMV, Merge: LazyAMM, SoftwareLog: true}
+	if bad.Valid() {
+		t.Fatal("SoftwareLog must require FMM")
+	}
+	if !MultiTMVFMMSw.Valid() {
+		t.Fatal("FMM.Sw must be valid")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	tests := []struct {
+		s     Scheme
+		long  string
+		short string
+	}{
+		{SingleTEager, "SingleT Eager AMM", "Eager"},
+		{MultiTSVLazy, "MultiT&SV Lazy AMM", "Lazy"},
+		{MultiTMVFMM, "MultiT&MV FMM", "FMM"},
+		{MultiTMVFMMSw, "MultiT&MV FMM.Sw", "FMM.Sw"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.long {
+			t.Errorf("String = %q, want %q", got, tt.long)
+		}
+		if got := tt.s.ShortName(); got != tt.short {
+			t.Errorf("ShortName = %q, want %q", got, tt.short)
+		}
+	}
+}
+
+func TestPolicyPredicates(t *testing.T) {
+	tests := []struct {
+		s                                              Scheme
+		multi, svStall, eagerMerge, lingers, log, ovfl bool
+	}{
+		{SingleTEager, false, false, true, false, false, true},
+		{SingleTLazy, false, false, false, true, false, true},
+		{MultiTSVEager, true, true, true, false, false, true},
+		{MultiTSVLazy, true, true, false, true, false, true},
+		{MultiTMVEager, true, false, true, false, false, true},
+		{MultiTMVLazy, true, false, false, true, false, true},
+		{MultiTMVFMM, true, false, false, false, true, false},
+		{MultiTMVFMMSw, true, false, false, false, true, false},
+	}
+	for _, tt := range tests {
+		if got := tt.s.MultipleTasksPerProc(); got != tt.multi {
+			t.Errorf("%v: MultipleTasksPerProc = %v", tt.s, got)
+		}
+		if got := tt.s.StallsOnSecondLocalVersion(); got != tt.svStall {
+			t.Errorf("%v: StallsOnSecondLocalVersion = %v", tt.s, got)
+		}
+		if got := tt.s.MergesAtCommit(); got != tt.eagerMerge {
+			t.Errorf("%v: MergesAtCommit = %v", tt.s, got)
+		}
+		if got := tt.s.KeepsCommittedVersionsInCache(); got != tt.lingers {
+			t.Errorf("%v: KeepsCommittedVersionsInCache = %v", tt.s, got)
+		}
+		if got := tt.s.UsesUndoLog(); got != tt.log {
+			t.Errorf("%v: UsesUndoLog = %v", tt.s, got)
+		}
+		if got := tt.s.UsesOverflowArea(); got != tt.ovfl {
+			t.Errorf("%v: UsesOverflowArea = %v", tt.s, got)
+		}
+	}
+}
+
+func TestMTIDRequirement(t *testing.T) {
+	if !MultiTMVFMM.MemoryNeedsMTID() || !MultiTMVFMMSw.MemoryNeedsMTID() {
+		t.Fatal("FMM requires MTID")
+	}
+	if MultiTMVLazy.MemoryNeedsMTID() {
+		t.Fatal("Lazy AMM is modelled with the VCL, not MTID")
+	}
+}
+
+func TestRequiredSupportsTable2(t *testing.T) {
+	tests := []struct {
+		s    Scheme
+		want []Support
+	}{
+		{SingleTEager, nil},
+		{MultiTSVEager, []Support{CTID}},
+		{MultiTMVEager, []Support{CTID, CRL}},
+		{SingleTLazy, []Support{CTID, VCL}},
+		{MultiTMVLazy, []Support{CTID, CRL, VCL}},
+		{MultiTMVFMM, []Support{CTID, CRL, MTID, ULOG}},
+		{MultiTMVFMMSw, []Support{CTID, CRL, MTID}}, // ULOG hardware eliminated
+	}
+	for _, tt := range tests {
+		got := RequiredSupports(tt.s).List()
+		if len(got) != len(tt.want) {
+			t.Errorf("%v: supports = %v, want %v", tt.s, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%v: supports = %v, want %v", tt.s, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSupportDescriptions(t *testing.T) {
+	for _, s := range AllSupports() {
+		if s.String() == "Support(?)" || s.Description() == "" {
+			t.Errorf("support %d lacks name or description", s)
+		}
+	}
+	if Support(9).Description() != "" || Support(9).String() != "Support(?)" {
+		t.Error("unknown support not handled")
+	}
+}
+
+func TestSupportSetHas(t *testing.T) {
+	ss := RequiredSupports(MultiTMVLazy)
+	if !ss.Has(CTID) || !ss.Has(VCL) || ss.Has(ULOG) {
+		t.Fatal("SupportSet membership wrong")
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// Section 3.3.5: MultiT&MV Eager < SingleT Lazy (CRL is a local change,
+	// VCL is a protocol change); MultiT&MV Lazy < MultiT&MV FMM.
+	if !(ComplexityRank(MultiTMVEager) < ComplexityRank(SingleTLazy)) {
+		t.Errorf("MultiT&MV Eager (%d) must rank below SingleT Lazy (%d)",
+			ComplexityRank(MultiTMVEager), ComplexityRank(SingleTLazy))
+	}
+	if !(ComplexityRank(MultiTMVLazy) < ComplexityRank(MultiTMVFMM)) {
+		t.Errorf("MultiT&MV Lazy (%d) must rank below MultiT&MV FMM (%d)",
+			ComplexityRank(MultiTMVLazy), ComplexityRank(MultiTMVFMM))
+	}
+	if ComplexityRank(SingleTEager) != 0 {
+		t.Error("the base scheme needs no extra support")
+	}
+}
+
+func TestUpgradePathTable2(t *testing.T) {
+	path := UpgradePath()
+	if len(path) != 4 {
+		t.Fatalf("Table 2 has 4 upgrade rows, got %d", len(path))
+	}
+	// The path is connected: each step starts where an earlier one ended,
+	// and ends at the most complex scheme.
+	if path[0].From != SingleTEager {
+		t.Error("path must start at SingleT Eager AMM")
+	}
+	if path[len(path)-1].To != MultiTMVFMM {
+		t.Error("path must end at MultiT&MV FMM")
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].From != path[i-1].To {
+			t.Errorf("step %d is disconnected", i)
+		}
+	}
+	for _, step := range path {
+		if step.Benefit == "" || len(step.Added) == 0 {
+			t.Errorf("step %v->%v lacks benefit or support", step.From, step.To)
+		}
+	}
+}
+
+func TestExistingSchemesFigure4(t *testing.T) {
+	reg := ExistingSchemes()
+	if len(reg) < 12 {
+		t.Fatalf("Figure 4 maps at least 12 schemes, got %d", len(reg))
+	}
+	byName := map[string]ExistingScheme{}
+	for _, e := range reg {
+		if e.Name == "" || e.Buffering == "" {
+			t.Errorf("scheme %+v incomplete", e)
+		}
+		byName[e.Name] = e
+	}
+	checks := []struct {
+		name  string
+		sep   Separation
+		merge Merging
+	}{
+		{"Hydra", MultiTMV, EagerAMM},
+		{"Prvulovic01", MultiTMV, LazyAMM},
+		{"Multiscalar (SVC)", SingleT, LazyAMM},
+		{"Zhang99&T", MultiTMV, FMM},
+		{"Garzaran01", MultiTMV, FMM},
+		{"MDT", SingleT, EagerAMM},
+	}
+	for _, c := range checks {
+		e, ok := byName[c.name]
+		if !ok {
+			t.Errorf("scheme %q missing from Figure 4", c.name)
+			continue
+		}
+		if e.Sep != c.sep || e.Merge != c.merge {
+			t.Errorf("%q mapped to (%v, %v), want (%v, %v)", c.name, e.Sep, e.Merge, c.sep, c.merge)
+		}
+	}
+	if e := byName["LRPD"]; !e.CoarseRecovery {
+		t.Error("LRPD is a coarse-recovery scheme")
+	}
+	if e := byName["DDSM"]; !e.MergeNA {
+		t.Error("DDSM's Eager/Lazy distinction does not apply")
+	}
+}
+
+func TestLimitsFigure8(t *testing.T) {
+	has := func(ls []LimitingCharacteristic, want LimitingCharacteristic) bool {
+		for _, l := range ls {
+			if l == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(Limits(SingleTEager), LimitLoadImbalance) ||
+		!has(Limits(SingleTEager), LimitCommitWavefront) ||
+		!has(Limits(SingleTEager), LimitCacheOverflow) {
+		t.Error("SingleT Eager limits wrong")
+	}
+	if !has(Limits(MultiTSVLazy), LimitImbalancePlusPriv) {
+		t.Error("MultiT&SV must be limited by imbalance + privatization")
+	}
+	if has(Limits(MultiTMVLazy), LimitCommitWavefront) {
+		t.Error("Lazy schemes remove the commit wavefront")
+	}
+	if !has(Limits(MultiTMVFMM), LimitFrequentSquashes) {
+		t.Error("FMM must be limited by frequent squashes")
+	}
+	if has(Limits(MultiTMVFMM), LimitCacheOverflow) {
+		t.Error("FMM is not limited by cache overflow")
+	}
+	if !has(Limits(MultiTMVLazy), LimitCacheOverflow) {
+		t.Error("AMM schemes are limited by cache overflow (P3m, Figure 10)")
+	}
+}
+
+func TestSchemeStringsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range AllSchemes() {
+		name := s.String()
+		if seen[name] {
+			t.Fatalf("duplicate scheme name %q", name)
+		}
+		seen[name] = true
+		if !strings.Contains(name, s.Sep.String()) {
+			t.Errorf("scheme name %q omits separation axis", name)
+		}
+	}
+}
+
+func TestSchemeFromString(t *testing.T) {
+	for _, s := range AllSchemes() {
+		got, ok := SchemeFromString(s.String())
+		if !ok || got != s {
+			t.Errorf("round trip failed for %v", s)
+		}
+	}
+	if got, ok := SchemeFromString("multit&mv lazy amm"); !ok || got != MultiTMVLazy {
+		t.Error("parsing must be case-insensitive")
+	}
+	if _, ok := SchemeFromString("bogus"); ok {
+		t.Error("unknown scheme parsed")
+	}
+}

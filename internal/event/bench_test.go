@@ -1,0 +1,21 @@
+package event
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	var q Queue
+	fn := func(Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+Time(i%256), fn)
+		q.Step()
+	}
+}
+
+func BenchmarkResourceAcquire(b *testing.B) {
+	var r Resource
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(Time(i), 4)
+	}
+}

@@ -1,0 +1,154 @@
+// Package event implements the discrete-event simulation kernel the
+// multiprocessor simulator runs on: a virtual clock, a stable priority
+// queue of timed events, and busy-until occupancy resources for modelling
+// contention.
+//
+// Determinism is a hard requirement (the reproduction harness and the
+// regression tests compare results across runs), so ties in time are broken
+// by insertion sequence: two events scheduled for the same cycle fire in
+// the order they were scheduled.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in processor clock cycles.
+type Time uint64
+
+// Never is a sentinel far-future time.
+const Never Time = ^Time(0)
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+	fn       func(now Time)
+}
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is the event queue and clock of one simulation. The zero value is
+// ready to use.
+type Queue struct {
+	now    Time
+	nextSq uint64
+	heap   eventHeap
+	fired  uint64
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending (non-canceled) events. Canceled events
+// still occupy the heap until popped, so this walks lazily-dead entries
+// out of the count.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.heap {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events executed so far; useful for progress
+// accounting and runaway detection in tests.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules fn to run at absolute time when. Scheduling in the past is a
+// simulator bug and panics. It returns the event so the caller may cancel
+// it.
+func (q *Queue) At(when Time, fn func(now Time)) *Event {
+	if when < q.now {
+		panic(fmt.Sprintf("event: scheduling at %d before now %d", when, q.now))
+	}
+	e := &Event{when: when, seq: q.nextSq, fn: fn, index: -1}
+	q.nextSq++
+	heap.Push(&q.heap, e)
+	return e
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Time, fn func(now Time)) *Event {
+	return q.At(q.now+delay, fn)
+}
+
+// Cancel marks e as canceled. A canceled event never fires. Canceling a nil
+// or already-fired event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Step fires the earliest pending event and advances the clock to its time.
+// It returns false when no events remain.
+func (q *Queue) Step() bool {
+	for q.heap.Len() > 0 {
+		e := heap.Pop(&q.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		q.now = e.when
+		q.fired++
+		e.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or until limit events have fired
+// (0 means no limit). It returns the number of events fired by this call.
+func (q *Queue) Run(limit uint64) uint64 {
+	var n uint64
+	for limit == 0 || n < limit {
+		if !q.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// eventHeap is a min-heap on (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

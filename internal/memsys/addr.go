@@ -1,0 +1,62 @@
+// Package memsys models the memory-system state the buffering schemes
+// manage: word/line addressing, versioned set-associative caches with task-ID
+// tags (the CTID support), the per-processor overflow area for speculative
+// state, the per-processor memory-system history buffer (MHB / undo log) of
+// FMM schemes, and main memory with the memory task-ID filter (MTID).
+package memsys
+
+import "fmt"
+
+// Addr is a word address. Words are 4 bytes, matching the Fortran numerical
+// codes of the evaluation; violation detection in the baseline protocol is
+// word-granularity ("squashes only on out-of-order RAWs to the same word").
+type Addr uint64
+
+// LineAddr is a cache-line address. Lines are 64 bytes = 16 words, the line
+// size of every cache in the paper's two machines.
+type LineAddr uint64
+
+const (
+	// WordsPerLine is the number of 4-byte words in a 64-byte line.
+	WordsPerLine = 16
+	// lineShift converts between word and line addresses.
+	lineShift = 4
+	// LineBytes is the line size in bytes.
+	LineBytes = 64
+	// WordBytes is the word size in bytes.
+	WordBytes = 4
+)
+
+// Line returns the address of the line containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> lineShift) }
+
+// Offset returns the word offset of a within its line, in [0, WordsPerLine).
+func (a Addr) Offset() int { return int(a & (WordsPerLine - 1)) }
+
+func (a Addr) String() string { return fmt.Sprintf("w%#x", uint64(a)) }
+
+// Word returns the address of word offset off within line l.
+func (l LineAddr) Word(off int) Addr {
+	return Addr(uint64(l)<<lineShift | uint64(off&(WordsPerLine-1)))
+}
+
+func (l LineAddr) String() string { return fmt.Sprintf("l%#x", uint64(l)) }
+
+// WordMask is a bitmask over the words of one line.
+type WordMask uint16
+
+// Set returns m with word off marked.
+func (m WordMask) Set(off int) WordMask { return m | 1<<uint(off&(WordsPerLine-1)) }
+
+// Has reports whether word off is marked.
+func (m WordMask) Has(off int) bool { return m&(1<<uint(off&(WordsPerLine-1))) != 0 }
+
+// Count returns the number of marked words.
+func (m WordMask) Count() int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLineOffset(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		line LineAddr
+		off  int
+	}{
+		{0, 0, 0},
+		{15, 0, 15},
+		{16, 1, 0},
+		{17, 1, 1},
+		{0xabcd, 0xabc, 0xd},
+	}
+	for _, tt := range tests {
+		if got := tt.addr.Line(); got != tt.line {
+			t.Errorf("%v.Line() = %v, want %v", tt.addr, got, tt.line)
+		}
+		if got := tt.addr.Offset(); got != tt.off {
+			t.Errorf("%v.Offset() = %d, want %d", tt.addr, got, tt.off)
+		}
+	}
+}
+
+// Property: Line/Offset decompose and Word recomposes exactly.
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return addr.Line().Word(addr.Offset()) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordMask(t *testing.T) {
+	var m WordMask
+	if m.Count() != 0 {
+		t.Fatal("empty mask count != 0")
+	}
+	m = m.Set(0).Set(15).Set(7)
+	if !m.Has(0) || !m.Has(7) || !m.Has(15) {
+		t.Fatal("set words not reported")
+	}
+	if m.Has(1) {
+		t.Fatal("unset word reported")
+	}
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+	if m.Set(7).Count() != 3 {
+		t.Fatal("re-setting a word changed the count")
+	}
+}
+
+func TestWordMaskOffsetWraps(t *testing.T) {
+	// Offsets are masked to the line width, matching Addr.Offset semantics.
+	m := WordMask(0).Set(16)
+	if !m.Has(0) {
+		t.Fatal("offset 16 should alias word 0")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Addr(0x20).String() != "w0x20" {
+		t.Errorf("Addr string = %q", Addr(0x20).String())
+	}
+	if LineAddr(0x2).String() != "l0x2" {
+		t.Errorf("LineAddr string = %q", LineAddr(0x2).String())
+	}
+}

@@ -1,0 +1,72 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func BenchmarkCacheProbeHit(b *testing.B) {
+	c := NewCache(Config{Name: "L2", SizeBytes: 512 << 10, Ways: 4})
+	c.Insert(100, ids.TaskID(1), KindOwnVersion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(100, ids.TaskID(1))
+	}
+}
+
+func BenchmarkCacheProbeMiss(b *testing.B) {
+	c := NewCache(Config{Name: "L2", SizeBytes: 512 << 10, Ways: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(LineAddr(i), ids.TaskID(1))
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := NewCache(Config{Name: "L2", SizeBytes: 64 << 10, Ways: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(LineAddr(i), ids.TaskID(i%8+1), KindOwnVersion)
+	}
+}
+
+func BenchmarkBestVersionFor(b *testing.B) {
+	c := NewCache(Config{Name: "L2", SizeBytes: 64 << 10, Ways: 8})
+	for t := ids.TaskID(1); t <= 8; t++ {
+		c.Insert(4, t, KindOwnVersion)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BestVersionFor(4, ids.TaskID(5))
+	}
+}
+
+func BenchmarkMHBAppendRelease(b *testing.B) {
+	m := NewMHB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ids.TaskID(i + 1)
+		for j := 0; j < 8; j++ {
+			m.Append(LineAddr(j), ids.None, t)
+		}
+		m.ReleaseCommitted(t)
+	}
+}
+
+func BenchmarkOverflowSpillRetrieve(b *testing.B) {
+	o := NewOverflow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Spill(LineAddr(i%1024), ids.TaskID(i%16+1), 1)
+		o.Retrieve(LineAddr(i%1024), ids.TaskID(i%16+1))
+	}
+}
+
+func BenchmarkMemoryWriteBackMTID(b *testing.B) {
+	m := NewMemory(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteBack(LineAddr(i%4096), ids.TaskID(i+1))
+	}
+}

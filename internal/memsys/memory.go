@@ -1,0 +1,71 @@
+package memsys
+
+import "repro/internal/ids"
+
+// Memory models main memory's version state. Under AMM it holds only
+// architectural (safe) data; under FMM it holds the latest future state and
+// uses the memory task-ID (MTID) support to selectively reject write-backs
+// of versions older than the one it already has, keeping memory updated "in
+// increasing task-ID order for any given variable" without the VCL.
+type Memory struct {
+	mtidEnabled bool
+	version     map[LineAddr]ids.TaskID // latest producer merged per line
+
+	// Statistics.
+	writebacks uint64
+	rejected   uint64
+}
+
+// NewMemory returns an empty memory. When mtid is true the memory carries
+// task-ID tags per line and filters stale write-backs; when false every
+// write-back is accepted (the caller — an AMM scheme using the VCL — must
+// itself guarantee in-order merging).
+func NewMemory(mtid bool) *Memory {
+	return &Memory{
+		mtidEnabled: mtid,
+		version:     make(map[LineAddr]ids.TaskID),
+	}
+}
+
+// MTIDEnabled reports whether the memory filters stale write-backs.
+func (m *Memory) MTIDEnabled() bool { return m.mtidEnabled }
+
+// Version returns the producer of the version currently in memory for tag
+// (None when only the pre-section architectural data is there).
+func (m *Memory) Version(tag LineAddr) ids.TaskID { return m.version[tag] }
+
+// WriteBack merges a version into memory. With MTID, the write-back is
+// discarded if memory already holds a version from the same or a later
+// task; it returns whether the write-back was accepted. Without MTID every
+// write-back is accepted in arrival order.
+func (m *Memory) WriteBack(tag LineAddr, producer ids.TaskID) bool {
+	m.writebacks++
+	if m.mtidEnabled {
+		if cur, ok := m.version[tag]; ok && !cur.Before(producer) {
+			m.rejected++
+			return false
+		}
+	}
+	m.version[tag] = producer
+	return true
+}
+
+// Restore forces a version into memory, bypassing the MTID filter. FMM
+// recovery uses it: the undo walk writes strictly older versions back over
+// squashed future state, in reverse task order.
+func (m *Memory) Restore(tag LineAddr, producer ids.TaskID) {
+	if producer == ids.None {
+		delete(m.version, tag)
+		return
+	}
+	m.version[tag] = producer
+}
+
+// LinesWithVersions returns how many lines hold a post-section version.
+func (m *Memory) LinesWithVersions() int { return len(m.version) }
+
+// Stats returns cumulative (write-backs attempted, write-backs rejected by
+// MTID).
+func (m *Memory) Stats() (writebacks, rejected uint64) {
+	return m.writebacks, m.rejected
+}

@@ -1,0 +1,90 @@
+package memsys
+
+import "repro/internal/ids"
+
+// versionKey identifies one version of one line.
+type versionKey struct {
+	tag      LineAddr
+	producer ids.TaskID
+}
+
+// Overflow is the per-processor special memory area into which speculative
+// versions displaced from the cache hierarchy safely overflow under AMM
+// schemes ([16], modelled in Section 4.1 of the paper). It prevents
+// processor stalls on cache conflicts, but "such an overflow area is slow
+// when asked to return versions, which especially hurts when committing a
+// task" — the timing model charges OverflowAccess cycles for every retrieval
+// from here.
+type Overflow struct {
+	entries map[versionKey]WordMask
+
+	// Statistics.
+	spills     uint64
+	retrievals uint64
+	peak       int
+}
+
+// NewOverflow returns an empty overflow area.
+func NewOverflow() *Overflow {
+	return &Overflow{entries: make(map[versionKey]WordMask)}
+}
+
+// Spill stores a displaced speculative version.
+func (o *Overflow) Spill(tag LineAddr, producer ids.TaskID, written WordMask) {
+	o.entries[versionKey{tag, producer}] |= written
+	o.spills++
+	if len(o.entries) > o.peak {
+		o.peak = len(o.entries)
+	}
+}
+
+// Has reports whether the exact version is in the overflow area.
+func (o *Overflow) Has(tag LineAddr, producer ids.TaskID) bool {
+	_, ok := o.entries[versionKey{tag, producer}]
+	return ok
+}
+
+// Retrieve removes and returns the version, recording the (slow) access.
+func (o *Overflow) Retrieve(tag LineAddr, producer ids.TaskID) (WordMask, bool) {
+	k := versionKey{tag, producer}
+	w, ok := o.entries[k]
+	if ok {
+		delete(o.entries, k)
+		o.retrievals++
+	}
+	return w, ok
+}
+
+// TaskLines returns the line addresses of versions owned by task, in
+// unspecified order. Commit of a task with overflowed state must visit all
+// of them.
+func (o *Overflow) TaskLines(task ids.TaskID) []LineAddr {
+	var out []LineAddr
+	for k := range o.entries {
+		if k.producer == task {
+			out = append(out, k.tag)
+		}
+	}
+	return out
+}
+
+// DropTask removes every version owned by task (squash recovery) and
+// returns how many were dropped.
+func (o *Overflow) DropTask(task ids.TaskID) int {
+	n := 0
+	for k := range o.entries {
+		if k.producer == task {
+			delete(o.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of versions currently overflowed.
+func (o *Overflow) Len() int { return len(o.entries) }
+
+// Stats returns cumulative (spills, retrievals, peak occupancy).
+func (o *Overflow) Stats() (spills, retrievals uint64, peak int) {
+	return o.spills, o.retrievals, o.peak
+}

@@ -1,0 +1,406 @@
+// Package report runs the paper's experiments and renders every table and
+// figure of the evaluation as text: the static taxonomy artifacts (Figures
+// 2, 4 and 8, Tables 1 and 2), the application-characterization data
+// (Figure 1, Table 3), and the performance comparisons (Figures 9, 10 and
+// 11 plus the Section 5.4 summary).
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options parameterizes an experiment sweep.
+type Options struct {
+	// Seed for the deterministic workload generators.
+	Seed uint64
+	// Apps to run; nil selects the full standard suite.
+	Apps []workload.Profile
+	// Progress, if non-nil, is called after every completed run (from the
+	// goroutine that ran it; calls are serialized).
+	Progress func(machine, app string, scheme core.Scheme, r sim.Result)
+	// Serial disables the default run-level parallelism. Results are
+	// identical either way — each simulation is an isolated deterministic
+	// function of its inputs — so Serial only matters for debugging.
+	Serial bool
+}
+
+func (o *Options) apps() []workload.Profile {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return workload.StandardSuite()
+}
+
+func (o *Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Cell is one (application, scheme) measurement of a grid, together with
+// the sequential baseline it normalizes against.
+type Cell struct {
+	Result sim.Result
+	Seq    event.Time
+}
+
+// Normalized returns execution time normalized to the given reference time.
+func (c Cell) Normalized(ref event.Time) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return float64(c.Result.ExecCycles) / float64(ref)
+}
+
+// Speedup returns the speedup over the sequential baseline.
+func (c Cell) Speedup() float64 { return c.Result.Speedup(c.Seq) }
+
+// Grid is a full sweep: every application crossed with every scheme on one
+// machine — the data behind Figures 9, 10 and 11.
+type Grid struct {
+	Machine string
+	Apps    []string
+	Schemes []core.Scheme
+	Cells   map[string]map[string]Cell // app -> scheme.String() -> cell
+}
+
+// Cell returns the measurement for (app, scheme).
+func (g *Grid) Cell(app string, scheme core.Scheme) Cell {
+	return g.Cells[app][scheme.String()]
+}
+
+// RunGrid sweeps apps × schemes on the machine, measuring one sequential
+// baseline per application. Runs execute in parallel (each simulation is an
+// isolated deterministic function of its inputs); the assembled grid is
+// identical to a serial sweep.
+func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
+	apps := opt.apps()
+	g := &Grid{
+		Machine: cfg.Name,
+		Schemes: schemes,
+		Cells:   make(map[string]map[string]Cell),
+	}
+	for _, prof := range apps {
+		g.Apps = append(g.Apps, prof.Name)
+		g.Cells[prof.Name] = make(map[string]Cell, len(schemes))
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if opt.Serial || workers < 2 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	run := func(fn func()) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}()
+	}
+
+	// Phase 1: the per-application sequential baselines.
+	seqs := make([]event.Time, len(apps))
+	for i, prof := range apps {
+		i, prof := i, prof
+		run(func() { seqs[i] = sim.RunSequential(cfg, prof, opt.seed()).ExecCycles })
+	}
+	wg.Wait()
+
+	// Phase 2: every (application, scheme) run.
+	for i, prof := range apps {
+		seq := seqs[i]
+		for _, sch := range schemes {
+			prof, sch := prof, sch
+			run(func() {
+				r := sim.Run(cfg, sch, prof, opt.seed())
+				mu.Lock()
+				g.Cells[prof.Name][sch.String()] = Cell{Result: r, Seq: seq}
+				if opt.Progress != nil {
+					opt.Progress(cfg.Name, prof.Name, sch, r)
+				}
+				mu.Unlock()
+			})
+		}
+	}
+	wg.Wait()
+	return g
+}
+
+// Figure9Schemes are the six bars per application of Figures 9 and 11:
+// {SingleT, MultiT&SV, MultiT&MV} × {Eager, Lazy}.
+func Figure9Schemes() []core.Scheme {
+	return []core.Scheme{
+		core.SingleTEager, core.SingleTLazy,
+		core.MultiTSVEager, core.MultiTSVLazy,
+		core.MultiTMVEager, core.MultiTMVLazy,
+	}
+}
+
+// Figure10Schemes are the four bars per application of Figure 10, all
+// MultiT&MV: Eager, Lazy, FMM, FMM.Sw.
+func Figure10Schemes() []core.Scheme {
+	return []core.Scheme{
+		core.MultiTMVEager, core.MultiTMVLazy,
+		core.MultiTMVFMM, core.MultiTMVFMMSw,
+	}
+}
+
+// Figure9 runs the separation-of-task-state comparison on the NUMA machine.
+func Figure9(opt Options) *Grid { return RunGrid(machine.NUMA16(), Figure9Schemes(), opt) }
+
+// Figure11 is Figure 9 on the CMP.
+func Figure11(opt Options) *Grid { return RunGrid(machine.CMP8(), Figure9Schemes(), opt) }
+
+// Figure10 runs the AMM-versus-FMM comparison on the NUMA machine and
+// additionally measures P3m under the Lazy.L2 configuration (4-MB 16-way
+// L2), returned separately.
+func Figure10(opt Options) (*Grid, Cell) {
+	g := RunGrid(machine.NUMA16(), Figure10Schemes(), opt)
+	var lazyL2 Cell
+	for _, prof := range opt.apps() {
+		if prof.Name != "P3m" {
+			continue
+		}
+		seq := sim.RunSequential(machine.NUMA16(), prof, opt.seed())
+		r := sim.Run(machine.NUMA16BigL2(), core.MultiTMVLazy, prof, opt.seed())
+		lazyL2 = Cell{Result: r, Seq: seq.ExecCycles}
+	}
+	return g, lazyL2
+}
+
+// AppCharacterization holds one application's measured characteristics —
+// the data of Figure 1-(a) and the quantitative columns of Table 3.
+type AppCharacterization struct {
+	Profile workload.Profile
+
+	// Figure 1 (measured under MultiT&MV Eager on the NUMA machine).
+	SpecTasksSystem  float64
+	SpecTasksPerProc float64
+	FootprintKB      float64
+	PrivPct          float64
+
+	// Table 3 Commit/Execution ratios, percent.
+	CENuma float64
+	CECmp  float64
+
+	// Squash events per committed task (Section 4.2's squashing behaviour),
+	// NUMA MultiT&MV Lazy.
+	SquashRate float64
+}
+
+// Characterize measures every application on both machines under
+// MultiT&MV Eager (the configuration Table 3's ratios are defined for).
+// Applications are measured in parallel.
+func Characterize(opt Options) []AppCharacterization {
+	apps := opt.apps()
+	out := make([]AppCharacterization, len(apps))
+	workers := runtime.GOMAXPROCS(0)
+	if opt.Serial || workers < 2 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, prof := range apps {
+		i, prof := i, prof
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			numa := sim.Run(machine.NUMA16(), core.MultiTMVEager, prof, opt.seed())
+			cmp := sim.Run(machine.CMP8(), core.MultiTMVEager, prof, opt.seed())
+			lazy := sim.Run(machine.NUMA16(), core.MultiTMVLazy, prof, opt.seed())
+			out[i] = AppCharacterization{
+				Profile:          prof,
+				SpecTasksSystem:  numa.AvgSpecTasksSystem,
+				SpecTasksPerProc: numa.AvgSpecTasksPerProc,
+				FootprintKB:      numa.AvgFootprintBytes / 1024,
+				PrivPct:          100 * numa.AvgPrivFrac,
+				CENuma:           numa.CommitExecRatio(),
+				CECmp:            cmp.CommitExecRatio(),
+				SquashRate:       float64(lazy.SquashEvents) / float64(lazy.Commits),
+			}
+			if opt.Progress != nil {
+				mu.Lock()
+				opt.Progress("characterize", prof.Name, core.MultiTMVEager, numa)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Summary condenses a grid into the Section 5.4 quantities: average
+// execution-time reductions of (a) MultiT&MV over SingleT under Eager,
+// (b) laziness over Eager for the simple schemes, (c) laziness over Eager
+// for MultiT&MV.
+type Summary struct {
+	Machine                string
+	MultiTMVOverSingleTPct float64 // paper: 32% NUMA, 23% CMP
+	LazinessSimplePct      float64 // paper: 30% NUMA, 9% CMP
+	LazinessMultiTMVPct    float64 // paper: 24% NUMA, 3% CMP
+}
+
+// Summarize computes the Section 5.4 averages from a Figure 9/11 grid.
+func Summarize(g *Grid) Summary {
+	reduction := func(base, improved core.Scheme) float64 {
+		total := 0.0
+		for _, app := range g.Apps {
+			b := g.Cell(app, base).Result.ExecCycles
+			i := g.Cell(app, improved).Result.ExecCycles
+			if b > 0 {
+				total += 1 - float64(i)/float64(b)
+			}
+		}
+		return 100 * total / float64(len(g.Apps))
+	}
+	return Summary{
+		Machine:                g.Machine,
+		MultiTMVOverSingleTPct: reduction(core.SingleTEager, core.MultiTMVEager),
+		LazinessSimplePct: (reduction(core.SingleTEager, core.SingleTLazy) +
+			reduction(core.MultiTSVEager, core.MultiTSVLazy)) / 2,
+		LazinessMultiTMVPct: reduction(core.MultiTMVEager, core.MultiTMVLazy),
+	}
+}
+
+// SortedSchemes returns the grid's schemes ordered as in the figures.
+func (g *Grid) SortedSchemes() []core.Scheme {
+	out := append([]core.Scheme(nil), g.Schemes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Sep != out[j].Sep {
+			return out[i].Sep < out[j].Sep
+		}
+		return out[i].Merge < out[j].Merge
+	})
+	return out
+}
+
+// ExpectationCheck verifies one qualitative claim of the paper against a
+// grid; the harness prints the outcome of every claim next to each figure.
+type ExpectationCheck struct {
+	Claim string
+	Holds bool
+	Note  string
+}
+
+// CheckFigure9Claims tests the Section 5.1/5.2 claims against a grid (use
+// the NUMA grid; the CMP grid satisfies the same orderings more weakly).
+func CheckFigure9Claims(g *Grid) []ExpectationCheck {
+	exec := func(app string, sch core.Scheme) event.Time {
+		return g.Cell(app, sch).Result.ExecCycles
+	}
+	var out []ExpectationCheck
+	add := func(claim string, holds bool, note string) {
+		out = append(out, ExpectationCheck{Claim: claim, Holds: holds, Note: note})
+	}
+
+	if has(g, "P3m") {
+		add("MultiT&MV beats SingleT in P3m (high load imbalance)",
+			exec("P3m", core.MultiTMVEager) < exec("P3m", core.SingleTEager),
+			fmt.Sprintf("%d vs %d", exec("P3m", core.MultiTMVEager), exec("P3m", core.SingleTEager)))
+	}
+	for _, app := range []string{"Bdna", "Dsmc3d"} {
+		if !has(g, app) {
+			continue
+		}
+		add(fmt.Sprintf("MultiT&MV beats SingleT in %s (medium Commit/Exec ratio)", app),
+			exec(app, core.MultiTMVEager) < exec(app, core.SingleTEager), "")
+	}
+	for _, app := range []string{"Track", "Dsmc3d", "Euler"} {
+		if !has(g, app) {
+			continue
+		}
+		sv := exec(app, core.MultiTSVEager)
+		mv := exec(app, core.MultiTMVEager)
+		ratio := float64(sv) / float64(mv)
+		add(fmt.Sprintf("MultiT&SV matches MultiT&MV in %s (no privatization)", app),
+			ratio > 0.97 && ratio < 1.03, fmt.Sprintf("ratio %.3f", ratio))
+	}
+	for _, app := range []string{"Tree", "Bdna", "Apsi"} {
+		if !has(g, app) {
+			continue
+		}
+		add(fmt.Sprintf("MultiT&SV no better than SingleT in %s (dominant privatization)", app),
+			exec(app, core.MultiTSVEager) >= exec(app, core.SingleTEager), "")
+	}
+	for _, app := range []string{"Bdna", "Apsi", "Track", "Dsmc3d", "Euler"} {
+		if !has(g, app) {
+			continue
+		}
+		add(fmt.Sprintf("Laziness speeds up SingleT in %s (significant Commit/Exec ratio)", app),
+			exec(app, core.SingleTLazy) < exec(app, core.SingleTEager), "")
+	}
+	for _, app := range []string{"Apsi", "Track", "Euler"} {
+		if !has(g, app) {
+			continue
+		}
+		add(fmt.Sprintf("Laziness speeds up MultiT&MV in %s (ratio x procs > 1)", app),
+			exec(app, core.MultiTMVLazy) < exec(app, core.MultiTMVEager), "")
+	}
+	return out
+}
+
+// CheckFigure10Claims tests the AMM-versus-FMM claims.
+func CheckFigure10Claims(g *Grid, lazyL2 Cell) []ExpectationCheck {
+	var out []ExpectationCheck
+	if has(g, "Euler") {
+		lazy := g.Cell("Euler", core.MultiTMVLazy).Result
+		fmm := g.Cell("Euler", core.MultiTMVFMM).Result
+		out = append(out, ExpectationCheck{
+			Claim: "Lazy AMM beats FMM in Euler (frequent squashes; AMM recovers faster)",
+			Holds: lazy.ExecCycles < fmm.ExecCycles,
+			Note:  fmt.Sprintf("%d vs %d", lazy.ExecCycles, fmm.ExecCycles),
+		})
+	}
+	if has(g, "P3m") {
+		amm := g.Cell("P3m", core.MultiTMVLazy).Result
+		fmm := g.Cell("P3m", core.MultiTMVFMM).Result
+		out = append(out, ExpectationCheck{
+			Claim: "FMM at least matches Lazy AMM in P3m (buffer pressure; no overflow area)",
+			Holds: fmm.ExecCycles <= amm.ExecCycles && fmm.OverflowSpills == 0 && amm.OverflowSpills > 0,
+			Note:  fmt.Sprintf("AMM spills %d, FMM spills %d", amm.OverflowSpills, fmm.OverflowSpills),
+		})
+		if lazyL2.Result.Commits > 0 {
+			out = append(out, ExpectationCheck{
+				Claim: "The 16-way 4-MB L2 relieves P3m's AMM pressure (Lazy.L2)",
+				Holds: lazyL2.Result.OverflowSpills < amm.OverflowSpills/2 &&
+					lazyL2.Result.ExecCycles <= amm.ExecCycles,
+				Note: fmt.Sprintf("spills %d -> %d", amm.OverflowSpills, lazyL2.Result.OverflowSpills),
+			})
+		}
+	}
+	// FMM.Sw costs a few percent over FMM on average (paper: 6%).
+	totFMM, totSw := 0.0, 0.0
+	for _, app := range g.Apps {
+		totFMM += float64(g.Cell(app, core.MultiTMVFMM).Result.ExecCycles)
+		totSw += float64(g.Cell(app, core.MultiTMVFMMSw).Result.ExecCycles)
+	}
+	over := 100 * (totSw/totFMM - 1)
+	out = append(out, ExpectationCheck{
+		Claim: "FMM.Sw runs a few percent slower than FMM (paper: 6% average)",
+		Holds: over > 0 && over < 20,
+		Note:  fmt.Sprintf("%.1f%% average overhead", over),
+	})
+	return out
+}
+
+func has(g *Grid, app string) bool {
+	_, ok := g.Cells[app]
+	return ok
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// ScalabilityPoint is one machine size of a scalability sweep: the average
+// (over the applications) normalized execution times of the three pivotal
+// schemes, with SingleT Eager = 1 at each size, plus the Section 5.4
+// reductions at that size.
+type ScalabilityPoint struct {
+	Procs int
+
+	// Average normalized execution times (SingleT Eager = 1 per app).
+	SingleTEager float64 // always 1
+	MultiTMVE    float64
+	MultiTMVL    float64
+	SingleTLazy  float64
+
+	// Section 5.4 style reductions, percent.
+	MultiTMVPct       float64 // MultiT&MV Eager over SingleT Eager
+	LazinessMVPct     float64 // MultiT&MV Lazy over MultiT&MV Eager
+	LazinessSimplePct float64 // SingleT Lazy over SingleT Eager
+}
+
+// ScalabilitySweep measures how the benefits of the two supports scale
+// with machine size on the CC-NUMA architecture — the basis of the paper's
+// "in large machines, their effect is nearly fully additive" conclusion
+// and of the small-versus-large contrast between Figures 9 and 11. Sizes
+// are processor counts (e.g. 4, 8, 16, 32).
+func ScalabilitySweep(sizes []int, opt Options) []ScalabilityPoint {
+	schemes := []core.Scheme{
+		core.SingleTEager, core.SingleTLazy,
+		core.MultiTMVEager, core.MultiTMVLazy,
+	}
+	points := make([]ScalabilityPoint, len(sizes))
+	// Machine sizes run serially; each grid parallelizes internally.
+	for i, n := range sizes {
+		g := RunGrid(machine.ScalableNUMA(n), schemes, opt)
+		pt := ScalabilityPoint{Procs: n, SingleTEager: 1}
+		avg := func(sch core.Scheme) float64 {
+			sum := 0.0
+			for _, app := range g.Apps {
+				base := g.Cell(app, core.SingleTEager).Result.ExecCycles
+				sum += g.Cell(app, sch).Normalized(base)
+			}
+			return sum / float64(len(g.Apps))
+		}
+		pt.SingleTLazy = avg(core.SingleTLazy)
+		pt.MultiTMVE = avg(core.MultiTMVEager)
+		pt.MultiTMVL = avg(core.MultiTMVLazy)
+		pt.MultiTMVPct = 100 * (1 - pt.MultiTMVE)
+		pt.LazinessSimplePct = 100 * (1 - pt.SingleTLazy)
+		if pt.MultiTMVE > 0 {
+			pt.LazinessMVPct = 100 * (1 - pt.MultiTMVL/pt.MultiTMVE)
+		}
+		points[i] = pt
+	}
+	return points
+}
+
+// RenderScalability prints a scalability sweep as a table.
+func RenderScalability(w io.Writer, points []ScalabilityPoint) {
+	fmt.Fprintln(w, "Scalability: average normalized execution time vs machine size (CC-NUMA)")
+	fmt.Fprintln(w, "(SingleT Eager = 1.00 at each size)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%6s  %14s %14s %14s %14s  %10s %10s %10s\n",
+		"procs", "SingleT Eager", "SingleT Lazy", "MV Eager", "MV Lazy",
+		"MV gain", "lazy(MV)", "lazy(ST)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%6d  %14.2f %14.2f %14.2f %14.2f  %9.1f%% %9.1f%% %9.1f%%\n",
+			p.Procs, p.SingleTEager, p.SingleTLazy, p.MultiTMVE, p.MultiTMVL,
+			p.MultiTMVPct, p.LazinessMVPct, p.LazinessSimplePct)
+	}
+	fmt.Fprintln(w)
+}
+
+// scalabilityApps trims the suite to the applications whose behaviour
+// scales cleanly in a sweep (exclude the single-invocation straggler-bound
+// P3m, whose speedup is dominated by its longest task at every size).
+func scalabilityApps(opt Options) []workload.Profile {
+	var out []workload.Profile
+	for _, p := range opt.apps() {
+		if p.Name == "P3m" {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = opt.apps()
+	}
+	return out
+}
+
+// Scalability runs the default sweep at 4, 8, 16 and 32 processors over
+// the suite minus P3m.
+func Scalability(opt Options) []ScalabilityPoint {
+	opt.Apps = scalabilityApps(opt)
+	return ScalabilitySweep([]int{4, 8, 16, 32}, opt)
+}

@@ -1,0 +1,149 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SVG rendering of the performance figures: grouped horizontal bars per
+// application, one bar per scheme, each split into the Busy and Stall
+// components of the paper's figures and normalized to the grid's first
+// scheme, with the speedup over sequential execution annotated.
+
+const (
+	svgBarHeight   = 16
+	svgBarGap      = 4
+	svgGroupGap    = 22
+	svgLabelWidth  = 190
+	svgPlotWidth   = 560
+	svgRightMargin = 130
+	svgTopMargin   = 46
+	svgFooter      = 28
+
+	svgBusyColor  = "#2b6cb0"
+	svgStallColor = "#cbd5e0"
+	svgTextColor  = "#1a202c"
+	svgGridColor  = "#e2e8f0"
+)
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// RenderGridSVG writes the grid as a standalone SVG chart.
+func RenderGridSVG(w io.Writer, g *Grid, title string) error {
+	nBars := len(g.Apps) * len(g.Schemes)
+	height := svgTopMargin + nBars*(svgBarHeight+svgBarGap) +
+		len(g.Apps)*svgGroupGap + svgFooter
+	width := svgLabelWidth + svgPlotWidth + svgRightMargin
+
+	// The x scale: normalized time 0..maxNorm maps onto the plot width.
+	maxNorm := 1.0
+	for _, app := range g.Apps {
+		base := g.Cell(app, g.Schemes[0]).Result.ExecCycles
+		for _, sch := range g.Schemes {
+			if n := g.Cell(app, sch).Normalized(base); n > maxNorm {
+				maxNorm = n
+			}
+		}
+	}
+	maxNorm *= 1.05
+	x := func(norm float64) float64 {
+		return float64(svgLabelWidth) + norm/maxNorm*float64(svgPlotWidth)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" fill="%s">%s</text>`+"\n",
+		svgLabelWidth, svgTextColor, svgEscape(title))
+	fmt.Fprintf(&b, `<text x="%d" y="34" fill="#4a5568">normalized execution time (%s = 1.00); dark = busy, light = stall; speedup at right</text>`+"\n",
+		svgLabelWidth, svgEscape(g.Schemes[0].String()))
+
+	// Vertical gridlines at 0.25 steps.
+	for v := 0.25; v < maxNorm; v += 0.25 {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s"/>`+"\n",
+			x(v), svgTopMargin, x(v), height-svgFooter, svgGridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#718096" text-anchor="middle">%.2f</text>`+"\n",
+			x(v), height-svgFooter+14, v)
+	}
+
+	y := svgTopMargin
+	for _, app := range g.Apps {
+		base := g.Cell(app, g.Schemes[0]).Result.ExecCycles
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-weight="bold" fill="%s">%s</text>`+"\n",
+			y+svgBarHeight-3, svgTextColor, svgEscape(app))
+		for _, sch := range g.Schemes {
+			c := g.Cell(app, sch)
+			norm := c.Normalized(base)
+			busy := norm * c.Result.Agg.BusyFraction()
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="%s">%s</text>`+"\n",
+				svgLabelWidth-6, y+svgBarHeight-4, svgTextColor, svgEscape(sch.String()))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s"/>`+"\n",
+				svgLabelWidth, y, x(busy)-float64(svgLabelWidth), svgBarHeight, svgBusyColor)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`+"\n",
+				x(busy), y, x(norm)-x(busy), svgBarHeight, svgStallColor)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s">%.2f&#160;&#160;%.2fx</text>`+"\n",
+				x(norm)+6, y+svgBarHeight-4, svgTextColor, norm, c.Speedup())
+			y += svgBarHeight + svgBarGap
+		}
+		y += svgGroupGap
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderScalabilitySVG writes a scalability sweep as an SVG line-less
+// bar chart: per machine size, the normalized times of the four pivotal
+// schemes.
+func RenderScalabilitySVG(w io.Writer, points []ScalabilityPoint) error {
+	type series struct {
+		name  string
+		color string
+		pick  func(ScalabilityPoint) float64
+	}
+	all := []series{
+		{"SingleT Eager", "#718096", func(p ScalabilityPoint) float64 { return p.SingleTEager }},
+		{"SingleT Lazy", "#2b6cb0", func(p ScalabilityPoint) float64 { return p.SingleTLazy }},
+		{"MultiT&MV Eager", "#c05621", func(p ScalabilityPoint) float64 { return p.MultiTMVE }},
+		{"MultiT&MV Lazy", "#276749", func(p ScalabilityPoint) float64 { return p.MultiTMVL }},
+	}
+	const barW, gap, groupGap, plotH = 26, 6, 34, 220
+	width := svgLabelWidth + len(points)*(len(all)*(barW+gap)+groupGap)
+	height := svgTopMargin + plotH + 60
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="8" y="18" font-size="14" fill="%s">Scalability: normalized execution time vs machine size</text>`+"\n", svgTextColor)
+	yOf := func(v float64) float64 {
+		return float64(svgTopMargin+plotH) - v/1.1*float64(plotH)
+	}
+	for v := 0.25; v <= 1.05; v += 0.25 {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`+"\n",
+			60, yOf(v), width-10, yOf(v), svgGridColor)
+		fmt.Fprintf(&b, `<text x="30" y="%.1f" fill="#718096">%.2f</text>`+"\n", yOf(v)+4, v)
+	}
+	xpos := 70.0
+	for _, p := range points {
+		for _, s := range all {
+			v := s.pick(p)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s @ %d procs: %.2f</title></rect>`+"\n",
+				xpos, yOf(v), barW, yOf(0)-yOf(v), s.color, svgEscape(s.name), p.Procs, v)
+			xpos += barW + gap
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="%s">%d procs</text>`+"\n",
+			xpos-float64(len(all)*(barW+gap))/2, svgTopMargin+plotH+18, svgTextColor, p.Procs)
+		xpos += groupGap
+	}
+	// Legend.
+	lx := 70.0
+	for _, s := range all {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, height-22, s.color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s">%s</text>`+"\n", lx+14, height-13, svgTextColor, svgEscape(s.name))
+		lx += 150
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MicroWorkload returns the small imbalanced loop used to reproduce the
+// concept figures: tasks long enough to overlap, with every task creating
+// its own version of the same variables (the X writes of Figure 5).
+func MicroWorkload(tasks int) workload.Profile {
+	return workload.Profile{
+		Name:           "micro",
+		Tasks:          tasks,
+		InstrPerTask:   6000,
+		FootprintBytes: 2048,
+		WriteDensity:   16,
+		PrivFrac:       1.0,
+		WritePhase:     0.5,
+		ImbalanceCV:    0.9,
+		ReadsPerWrite:  1.0,
+		SharedReadFrac: 0.2,
+		HotReadWords:   1024,
+	}
+}
+
+// MicroMachine returns a small machine for the concept figures.
+func MicroMachine(procs int) *machine.Config {
+	cfg := machine.NUMA16()
+	cfg.Name = fmt.Sprintf("NUMA%d", procs)
+	cfg.Procs = procs
+	cfg.Banks = procs
+	// Make commit work clearly visible on the timeline, as in Figure 6.
+	cfg.CommitPerLine = 60
+	return cfg
+}
+
+// Timeline renders a Figure 5/6-style Gantt chart of a traced run: one lane
+// per processor, execution segments labelled by task, commit segments
+// marked with 'c', squashes with 'x'.
+func Timeline(w io.Writer, r sim.Result, procs int, width int) {
+	if width <= 0 {
+		width = 100
+	}
+	if len(r.Trace) == 0 {
+		fmt.Fprintln(w, "(no trace recorded)")
+		return
+	}
+	end := r.ExecCycles
+	if end == 0 {
+		end = 1
+	}
+	col := func(t event.Time) int {
+		c := int(uint64(t) * uint64(width) / uint64(end))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	lanes := make([][]byte, procs)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(" ", width))
+	}
+	type open struct {
+		at   event.Time
+		task ids.TaskID
+	}
+	running := map[ids.ProcID]open{}
+	committing := map[ids.TaskID]open{}
+	taskGlyph := func(t ids.TaskID) byte {
+		return byte('0' + (uint64(t)-1)%10)
+	}
+	paint := func(lane []byte, from, to event.Time, glyph byte) {
+		a, b := col(from), col(to)
+		for i := a; i <= b && i < len(lane); i++ {
+			lane[i] = glyph
+		}
+	}
+	for _, ev := range r.Trace {
+		if int(ev.Proc) >= procs {
+			continue
+		}
+		lane := lanes[ev.Proc]
+		switch ev.Kind {
+		case sim.TraceStart:
+			running[ev.Proc] = open{at: ev.When, task: ev.Task}
+		case sim.TraceFinish, sim.TraceSquash:
+			if o, ok := running[ev.Proc]; ok && o.task == ev.Task {
+				paint(lane, o.at, ev.When, taskGlyph(ev.Task))
+				delete(running, ev.Proc)
+			}
+			if ev.Kind == sim.TraceSquash {
+				lane[col(ev.When)] = 'x'
+			}
+		case sim.TraceCommitStart:
+			committing[ev.Task] = open{at: ev.When, task: ev.Task}
+		case sim.TraceCommitEnd:
+			if o, ok := committing[ev.Task]; ok {
+				paint(lane, o.at, ev.When, 'c')
+				delete(committing, ev.Task)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  time 0 %s %d cycles\n", strings.Repeat("-", width-14), r.ExecCycles)
+	for i, lane := range lanes {
+		fmt.Fprintf(w, "  P%-2d |%s|\n", i, string(lane))
+	}
+	fmt.Fprintln(w, "  digits: task executing (task index mod 10); c: commit merge; x: squash")
+}
+
+// Figure5 runs the SingleT / MultiT&SV / MultiT&MV comparison of Figure 5
+// on a 2-processor machine with four imbalanced tasks per scheme and
+// renders the three timelines.
+func Figure5(w io.Writer, seed uint64) map[string]sim.Result {
+	out := map[string]sim.Result{}
+	fmt.Fprintln(w, "Figure 5. Four tasks under SingleT (a), MultiT&SV (b), and MultiT&MV (c)")
+	fmt.Fprintln(w)
+	for _, sch := range []core.Scheme{core.SingleTEager, core.MultiTSVEager, core.MultiTMVEager} {
+		gen := workload.NewGenerator(MicroWorkload(4), seed)
+		s := sim.New(MicroMachine(2), sch, gen)
+		s.EnableTrace()
+		r := s.Run()
+		out[sch.String()] = r
+		fmt.Fprintf(w, "(%v) total %d cycles\n", sch, r.ExecCycles)
+		Timeline(w, r, 2, 100)
+		fmt.Fprintln(w)
+	}
+	return out
+}
+
+// Figure6 contrasts the execution and commit wavefronts of Eager and Lazy
+// merging on a 3-processor machine (Figure 6 (a)-(d)).
+func Figure6(w io.Writer, seed uint64) map[string]sim.Result {
+	out := map[string]sim.Result{}
+	fmt.Fprintln(w, "Figure 6. Execution and commit wavefronts under different schemes")
+	fmt.Fprintln(w)
+	schemes := []core.Scheme{
+		core.MultiTMVEager, core.MultiTMVLazy,
+		core.SingleTEager, core.SingleTLazy,
+	}
+	labels := []string{"(a)", "(b)", "(c)", "(d)"}
+	for i, sch := range schemes {
+		gen := workload.NewGenerator(MicroWorkload(9), seed)
+		s := sim.New(MicroMachine(3), sch, gen)
+		s.EnableTrace()
+		r := s.Run()
+		out[sch.String()] = r
+		fmt.Fprintf(w, "%s %v: total %d cycles\n", labels[i], sch, r.ExecCycles)
+		Timeline(w, r, 3, 100)
+		fmt.Fprintln(w)
+	}
+	return out
+}

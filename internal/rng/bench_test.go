@@ -1,0 +1,17 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkLogNormalCV(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.LogNormalCV(100, 0.5)
+	}
+}

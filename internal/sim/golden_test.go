@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Golden regression lock: exact cycle counts for a fixed workload and seed
+// under every scheme. Simulation results are specified to be bit-for-bit
+// deterministic functions of (machine, scheme, profile, seed); any change
+// to the simulator, protocol, workload generation, or cost model that
+// shifts timing shows up here first. If a change is INTENDED to shift
+// timing, regenerate these constants (run with -update-goldens logic: just
+// read the failure messages) and mention it in the commit.
+func TestGoldenCycleCounts(t *testing.T) {
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	p.DepProb = 0.3
+	numa := []struct {
+		scheme core.Scheme
+		want   event.Time
+	}{
+		{core.SingleTEager, 343071},
+		{core.SingleTLazy, 278376},
+		{core.MultiTSVEager, 327983},
+		{core.MultiTSVLazy, 271678},
+		{core.MultiTMVEager, 327983},
+		{core.MultiTMVLazy, 271678},
+		{core.MultiTMVFMM, 447958},
+		{core.MultiTMVFMMSw, 407282},
+	}
+	for _, g := range numa {
+		r := Run(machine.NUMA16(), g.scheme, p, 99)
+		if r.ExecCycles != g.want {
+			t.Errorf("NUMA16/%v: %d cycles, golden %d", g.scheme, r.ExecCycles, g.want)
+		}
+	}
+	cmp := []struct {
+		scheme core.Scheme
+		want   event.Time
+	}{
+		{core.SingleTEager, 187312},
+		{core.MultiTMVLazy, 172536},
+	}
+	for _, g := range cmp {
+		r := Run(machine.CMP8(), g.scheme, p, 99)
+		if r.ExecCycles != g.want {
+			t.Errorf("CMP8/%v: %d cycles, golden %d", g.scheme, r.ExecCycles, g.want)
+		}
+	}
+}

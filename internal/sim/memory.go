@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// read performs a load by task t on processor p and returns its latency.
+// The version to observe is resolved by the directory (the protocol
+// guarantees a reader receives the correct predecessor version); the cache
+// walk determines the cost.
+func (s *Simulator) read(p *processor, t *task, addr memsys.Addr) event.Time {
+	producer := s.dir.RecordRead(s.dirAddr(addr), t.id)
+	if addr >= workload.CommBase {
+		if t.consumed == nil {
+			t.consumed = make(map[memsys.Addr]ids.TaskID, 2)
+		}
+		if _, ok := t.consumed[addr]; !ok {
+			t.consumed[addr] = producer
+		}
+	}
+	line := addr.Line()
+	if _, ok := p.l1.Probe(line, producer); ok {
+		return s.cfg.LatL1
+	}
+	if _, ok := p.l2.Probe(line, producer); ok {
+		s.fillL1(p, line, producer)
+		return s.cfg.LatL2
+	}
+	dt := s.fetch(p, line, producer)
+	// fetch may have reinstated an overflowed own version; only cache a
+	// clean copy when the version is not already resident.
+	if _, ok := p.l2.Peek(line, producer); !ok {
+		s.insertL2(p, line, producer, memsys.KindCopy)
+	}
+	s.fillL1(p, line, producer)
+	return dt
+}
+
+// fetch computes the cost of obtaining version (line, producer) from
+// wherever it lives: the producer's cache hierarchy, its overflow area, or
+// memory. The requester's L1/L2 have already missed.
+func (s *Simulator) fetch(p *processor, line memsys.LineAddr, producer ids.TaskID) event.Time {
+	now := p.lastTime
+	if producer == ids.None {
+		return s.memLatency(p, line, now)
+	}
+	owner := s.procs[s.taskProc[int(producer)-1]]
+	if owner == p {
+		// Our own node produced it but the caches missed: the version was
+		// displaced — to the overflow area (AMM) or to memory (FMM/merged).
+		if w, ok := p.ovf.Retrieve(line, producer); ok {
+			s.insertL2(p, line, producer, memsys.KindOwnVersion)
+			if l, found := p.l2.Peek(line, producer); found {
+				l.Written = w
+			}
+			return s.cfg.LatOverflow
+		}
+		return s.memLatency(p, line, now)
+	}
+	// Remote versions: serviced from the owner's cache (3-hop), its
+	// overflow area, or memory.
+	if _, ok := owner.l2.Peek(line, producer); ok {
+		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote)
+		return done - now
+	}
+	if owner.ovf.Has(line, producer) {
+		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote+s.cfg.LatOverflow)
+		return done - now
+	}
+	return s.memLatency(p, line, now)
+}
+
+// memLatency is the round-trip cost of reaching the memory (or L3) that
+// backs a line, including bank/interface queuing.
+func (s *Simulator) memLatency(p *processor, line memsys.LineAddr, now event.Time) event.Time {
+	var lat event.Time
+	if s.l3 != nil {
+		// CMP: previously touched lines are L3 hits; cold lines come from
+		// off-chip memory (and are then resident in the 16-MB L3).
+		if s.l3[line] {
+			lat = s.cfg.LatL3
+		} else {
+			lat = s.cfg.LatMemLocal
+			s.l3[line] = true
+		}
+	} else {
+		home := s.net.Home(uint64(line))
+		lat = s.cfg.LatMemory(home == p.id)
+	}
+	done := s.net.Transfer(p.id, uint64(line), now, lat)
+	return done - now
+}
+
+// fillL1 caches a read-only copy in the L1. L1 victims are always clean
+// copies (all dirty/versioned state lives in the L2), so they drop
+// silently.
+func (s *Simulator) fillL1(p *processor, line memsys.LineAddr, producer ids.TaskID) {
+	p.l1.Insert(line, producer, memsys.KindCopy)
+}
+
+// insertL2 places a line in the L2 and disposes of any displaced victim
+// according to the merging policy in force:
+//
+//   - clean copies drop silently;
+//   - speculative versions overflow to the per-processor area (AMM) or are
+//     written back to memory under MTID (FMM);
+//   - committed-unmerged versions are merged by the VCL (Lazy AMM) or
+//     written back under MTID (FMM).
+//
+// Displacements are background traffic: they occupy the network/banks but
+// do not stall the processor.
+func (s *Simulator) insertL2(p *processor, line memsys.LineAddr, producer ids.TaskID, kind memsys.LineKind) {
+	victim, dirty := p.l2.Insert(line, producer, kind)
+	if !victim.Valid() {
+		return
+	}
+	// Keep the L1 free of lines whose L2 backing is gone.
+	p.l1.Invalidate(victim.Tag, victim.Producer)
+	if !dirty {
+		return
+	}
+	switch victim.Kind {
+	case memsys.KindOwnVersion:
+		if s.scheme.UsesOverflowArea() {
+			p.ovf.Spill(victim.Tag, victim.Producer, victim.Written)
+		} else {
+			s.mem.WriteBack(victim.Tag, victim.Producer)
+			s.fmmWritebacks++
+		}
+		s.net.Transfer(p.id, uint64(victim.Tag), p.lastTime, 0)
+	case memsys.KindCommitted:
+		if s.scheme.UsesUndoLog() || s.forceMTID {
+			// FMM (or the MTID ablation): the task-ID filter at memory
+			// rejects stale write-backs; no combining needed.
+			s.mem.WriteBack(victim.Tag, victim.Producer)
+		} else {
+			// Lazy AMM / ORB: the version-combining logic merges in order.
+			s.vclWriteBack(p, victim.Tag, victim.Producer)
+		}
+		s.vclMerges++
+		s.net.Transfer(p.id, uint64(victim.Tag), p.lastTime, 0)
+	}
+}
+
+// vclWriteBack emulates the version-combining logic: on displacement of a
+// committed version, "the VCL identifies the latest committed version of
+// the same variable still in the caches, writes it back to memory, and
+// invalidates the other versions. This prevents the earlier committed
+// versions from overwriting memory later." Commits are in task order, so
+// every version of the line older than the latest committed one is itself
+// committed and safe to drop.
+func (s *Simulator) vclWriteBack(p *processor, tag memsys.LineAddr, producer ids.TaskID) {
+	latest := producer
+	for _, q := range s.procs {
+		for _, l := range q.l2.VersionsOf(tag) {
+			if l.Kind == memsys.KindCommitted && l.Producer.After(latest) {
+				latest = l.Producer
+			}
+		}
+	}
+	s.mem.WriteBack(tag, latest)
+	for _, q := range s.procs {
+		for _, l := range q.l2.VersionsOf(tag) {
+			if l.Kind == memsys.KindCommitted && l.Producer.Before(latest) {
+				q.l2.Invalidate(tag, l.Producer)
+				q.l1.Invalidate(tag, l.Producer)
+			}
+		}
+	}
+}
+
+// write performs a store by task t on processor p. It returns the latency
+// and whether the processor must stall (MultiT&SV second-version rule; the
+// operation is retried after the blocking task commits).
+func (s *Simulator) write(p *processor, t *task, addr memsys.Addr) (event.Time, bool) {
+	line := addr.Line()
+
+	// Fast path: the task already owns a version of this line locally.
+	if l, ok := p.l2.Probe(line, t.id); ok && l.Kind == memsys.KindOwnVersion {
+		l.Written = l.Written.Set(addr.Offset())
+		s.recordWrite(p, t, addr)
+		var dt event.Time
+		if _, hit := p.l1.Probe(line, t.id); hit {
+			dt = s.cfg.LatL1
+		} else {
+			dt = s.cfg.LatL2
+			s.fillL1(p, line, t.id)
+		}
+		return dt, false
+	}
+
+	// Version creation. MultiT&SV: stall if another uncommitted local task
+	// already has a speculative version of this line.
+	if s.scheme.StallsOnSecondLocalVersion() {
+		if owner := p.l2.LocalSpecVersionOwner(line, t.id); owner != ids.None && !s.order.IsCommitted(owner) {
+			s.waiters[owner] = append(s.waiters[owner], p)
+			return 0, true
+		}
+		// A version might also sit in the overflow area.
+		for _, lt := range p.local {
+			if lt.id != t.id && lt.state != taskCommitted && p.ovf.Has(line, lt.id) {
+				s.waiters[lt.id] = append(s.waiters[lt.id], p)
+				return 0, true
+			}
+		}
+	}
+
+	dt := s.cfg.LatL2 // no-fetch write allocation (per-word dirty bits)
+
+	// A displaced version of our own may need to come back from overflow.
+	if w, ok := p.ovf.Retrieve(line, t.id); ok {
+		dt += s.cfg.LatOverflow
+		s.insertL2(p, line, t.id, memsys.KindOwnVersion)
+		if l, found := p.l2.Peek(line, t.id); found {
+			l.Written = w.Set(addr.Offset())
+		}
+		s.recordWrite(p, t, addr)
+		s.fillL1(p, line, t.id)
+		return dt, false
+	}
+
+	// FMM: before the task generates its own version, the most recent local
+	// version is saved into the MHB (hardware logs overlap with the write;
+	// software logs add instructions). Coarse-recovery schemes keep no undo
+	// log — only the software access marking (shadow arrays) — because
+	// recovery is re-execution of the whole section.
+	if s.scheme.UsesUndoLog() {
+		if !s.scheme.Coarse {
+			prev := ids.None
+			if best := p.l2.BestVersionFor(line, t.id); best != nil {
+				prev = best.Producer
+			} else if v := s.mem.Version(line); v != ids.None && v.Before(t.id) {
+				prev = v
+			}
+			p.mhb.Append(line, prev, t.id)
+		}
+		if s.scheme.SoftwareLog {
+			p.spend(s.cfg.LogAppendSW, &p.bd.Busy)
+		} else {
+			dt += s.cfg.LogAppendHW
+		}
+	}
+
+	s.insertL2(p, line, t.id, memsys.KindOwnVersion)
+	if l, found := p.l2.Peek(line, t.id); found {
+		l.Written = memsys.WordMask(0).Set(addr.Offset())
+	}
+	s.fillL1(p, line, t.id)
+	s.recordWrite(p, t, addr)
+	return dt, false
+}
+
+// recordWrite updates the directory (possibly detecting a violation) and
+// the task's footprint counters.
+func (s *Simulator) recordWrite(p *processor, t *task, addr memsys.Addr) {
+	t.wordsWritten++
+	if addr >= workload.PrivBase && addr < workload.UniqueBase {
+		t.privWords++
+	}
+	if victim := s.dir.RecordWrite(s.dirAddr(addr), t.id); victim != ids.None {
+		if s.scheme.Coarse {
+			// Coarse recovery defers detection to the end-of-section test
+			// (the LRPD test); nothing is squashed mid-run.
+			s.coarseViolated = true
+		} else {
+			s.squashFrom(victim, p.lastTime)
+		}
+	}
+}

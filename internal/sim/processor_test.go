@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/stats"
+)
+
+func TestPushRedoKeepsIDOrder(t *testing.T) {
+	p := &processor{}
+	two := &task{id: 2}
+	for _, tk := range []*task{{id: 5}, two, {id: 9}, two, {id: 7}} {
+		p.pushRedo(tk) // re-pushing the same task is ignored
+	}
+	seen := map[ids.TaskID]bool{}
+	var prev ids.TaskID
+	n := 0
+	for {
+		rt := p.popRedo()
+		if rt == nil {
+			break
+		}
+		n++
+		if rt.id.Before(prev) {
+			t.Fatalf("redo out of order: %v after %v", rt.id, prev)
+		}
+		prev = rt.id
+		seen[rt.id] = true
+	}
+	if n != 4 || !seen[2] || !seen[5] || !seen[7] || !seen[9] {
+		t.Fatalf("redo contents wrong: %d tasks, %v", n, seen)
+	}
+}
+
+func TestPushRedoDeduplicatesSameTask(t *testing.T) {
+	p := &processor{}
+	tk := &task{id: 3}
+	p.pushRedo(tk)
+	p.pushRedo(tk)
+	if len(p.redo) != 1 {
+		t.Fatalf("redo length = %d, want 1", len(p.redo))
+	}
+}
+
+func TestPopRedoEmpty(t *testing.T) {
+	p := &processor{}
+	if p.popRedo() != nil {
+		t.Fatal("popRedo on empty queue returned a task")
+	}
+}
+
+func TestRemoveLocal(t *testing.T) {
+	p := &processor{}
+	a, b, c := &task{id: 1}, &task{id: 2}, &task{id: 3}
+	p.local = []*task{a, b, c}
+	p.removeLocal(b)
+	if len(p.local) != 2 || p.local[0] != a || p.local[1] != c {
+		t.Fatalf("local after removal: %v", p.local)
+	}
+	p.removeLocal(&task{id: 9}) // absent: no-op
+	if len(p.local) != 2 {
+		t.Fatal("removing an absent task changed the list")
+	}
+}
+
+func TestWaitKindCharging(t *testing.T) {
+	cases := []struct {
+		w    waitKind
+		pick func(stats.Breakdown) event.Time
+	}{
+		{waitToken, func(b stats.Breakdown) event.Time { return b.StallTask }},
+		{waitVersion, func(b stats.Breakdown) event.Time { return b.StallTask }},
+		{waitCommit, func(b stats.Breakdown) event.Time { return b.StallCommit }},
+		{waitRecovery, func(b stats.Breakdown) event.Time { return b.StallRecovery }},
+		{waitIdle, func(b stats.Breakdown) event.Time { return b.StallIdle }},
+		{waitNone, func(b stats.Breakdown) event.Time { return b.StallIdle }},
+	}
+	for _, c := range cases {
+		var bd stats.Breakdown
+		c.w.charge(&bd, 42)
+		if got := c.pick(bd); got != 42 {
+			t.Errorf("wait kind %d charged wrong category (picked %d)", c.w, got)
+		}
+		if bd.Total() != 42 {
+			t.Errorf("wait kind %d charged %d total, want 42", c.w, bd.Total())
+		}
+	}
+}
+
+func TestAccountAttributesGapToWaitKind(t *testing.T) {
+	p := &processor{}
+	p.lastTime = 100
+	p.wait = waitToken
+	p.account(150)
+	if p.bd.StallTask != 50 {
+		t.Fatalf("StallTask = %d, want 50", p.bd.StallTask)
+	}
+	if p.lastTime != 150 {
+		t.Fatalf("lastTime = %d, want 150", p.lastTime)
+	}
+	// Accounting backwards or to the same time is a no-op.
+	p.account(150)
+	p.account(120)
+	if p.bd.Total() != 50 {
+		t.Fatal("repeated account changed the books")
+	}
+}
+
+func TestSpendAdvancesLocalTime(t *testing.T) {
+	p := &processor{}
+	p.spend(30, &p.bd.Busy)
+	p.spend(12, &p.bd.StallMem)
+	if p.lastTime != 42 || p.bd.Busy != 30 || p.bd.StallMem != 12 {
+		t.Fatalf("spend bookkeeping wrong: %+v at %d", p.bd, p.lastTime)
+	}
+}

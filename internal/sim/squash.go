@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/memsys"
+)
+
+// squashFrom handles a detected out-of-order RAW: the offending reader and
+// every uncommitted successor are squashed, their polluted state is
+// repaired, and they restart after recovery completes.
+//
+// Recovery cost is where AMM and FMM differ most (Section 3.3.4): AMM
+// recovery gang-invalidates the squashed speculative versions from the
+// MROB (cheap, parallel across processors); FMM recovery runs a software
+// handler that walks the distributed MHB and copies every overwritten
+// version back to main memory in strict reverse task order (serialized
+// across processors).
+func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
+	s.squashEvents++
+
+	// Collect the victims: every uncommitted task at or after first,
+	// grouped per processor, in deterministic ID order.
+	perProc := make([][]*task, len(s.procs))
+	for id, t := range s.tasks {
+		if !id.Before(first) && t.state != taskCommitted {
+			perProc[t.proc] = append(perProc[t.proc], t)
+		}
+	}
+	for _, victims := range perProc {
+		for i := 1; i < len(victims); i++ {
+			for j := i; j > 0 && victims[j].id.Before(victims[j-1].id); j-- {
+				victims[j], victims[j-1] = victims[j-1], victims[j]
+			}
+		}
+	}
+
+	for pi, victims := range perProc {
+		p := s.procs[pi]
+		for _, t := range victims {
+			s.tasksSquashed++
+			t.squashCount++
+			s.dir.Squash(t.id)
+			s.trace(now, TraceSquash, t)
+			t.reset()
+			t.state = taskSquashed
+			if p.cur == t {
+				p.cur = nil
+			}
+			p.pushRedo(t)
+		}
+	}
+
+	// Stale copies of squashed versions anywhere in the system are purged
+	// (the squash protocol's invalidations; their latency is folded into
+	// the recovery delay below).
+	for _, p := range s.procs {
+		purge := func(l *memsys.Line) bool {
+			return l.Producer != ids.None && !l.Producer.Before(first) && l.Kind == memsys.KindCopy
+		}
+		p.l1.InvalidateWhere(func(l *memsys.Line) bool {
+			return l.Producer != ids.None && !l.Producer.Before(first)
+		})
+		p.l2.InvalidateWhere(purge)
+	}
+
+	// Repair the squashed versions and compute the restart time.
+	restart := now + s.cfg.SquashMsg
+	if s.scheme.UsesUndoLog() {
+		// FMM: the log walks run serially in reverse task order across the
+		// distributed MHBs (undo entries of different processors interleave
+		// in task order), so the handler times add up.
+		var serial event.Time
+		for pi, victims := range perProc {
+			if len(victims) == 0 {
+				continue
+			}
+			p := s.procs[pi]
+			undo := p.mhb.PopForRecovery(victims[0].id)
+			for _, e := range undo {
+				s.mem.Restore(e.Tag, e.Producer)
+			}
+			serial += s.cfg.FMMRestoreFixed + event.Time(len(undo))*s.cfg.FMMRestoreLine
+			s.invalidateVersions(p, victims)
+		}
+		restart += serial
+	} else {
+		// AMM: gang-invalidate the MROB entries, processors in parallel.
+		var worst event.Time
+		for pi, victims := range perProc {
+			if len(victims) == 0 {
+				continue
+			}
+			lines := s.invalidateVersions(s.procs[pi], victims)
+			if d := event.Time(lines) * s.cfg.AMMInvalidate; d > worst {
+				worst = d
+			}
+		}
+		restart += worst
+	}
+
+	// Stall the affected processors until recovery completes.
+	for pi, victims := range perProc {
+		if len(victims) == 0 {
+			continue
+		}
+		p := s.procs[pi]
+		p.blockedUntil = restart
+		s.wake(p, restart)
+	}
+}
+
+// invalidateVersions removes the cached and overflowed versions produced by
+// the given squashed tasks on processor p, returning how many lines were
+// touched.
+func (s *Simulator) invalidateVersions(p *processor, victims []*task) int {
+	first := victims[0].id
+	n := p.l2.InvalidateWhere(func(l *memsys.Line) bool {
+		return l.Kind == memsys.KindOwnVersion && !l.Producer.Before(first)
+	})
+	for _, t := range victims {
+		n += p.ovf.DropTask(t.id)
+	}
+	return n
+}

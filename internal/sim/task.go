@@ -1,0 +1,65 @@
+// Package sim is the execution-driven simulator that runs a workload's
+// speculative section on a machine under one buffering scheme and accounts
+// for every cycle: instruction execution, memory stalls, task/version
+// stalls, commit work, squash recovery, and end-of-section idling.
+//
+// Processors execute their tasks' operation streams in bounded time quanta
+// over a global discrete-event queue, so cross-processor interactions
+// (version forwarding, violations, the commit token) interleave
+// deterministically with bounded skew.
+package sim
+
+import (
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// taskState is the lifecycle of a speculative task.
+type taskState uint8
+
+const (
+	taskRunning taskState = iota
+	taskFinished
+	taskSquashed
+	taskCommitted
+)
+
+// task is one speculative task in flight.
+type task struct {
+	id    ids.TaskID
+	index int // 0-based workload index
+	proc  ids.ProcID
+	state taskState
+
+	ops []workload.Op
+	pc  int
+
+	startedAt  event.Time
+	finishedAt event.Time
+
+	// Footprint counters for Figure 1 (reset on squash).
+	wordsWritten int
+	privWords    int
+
+	// consumed records, for communication-region reads, the producer whose
+	// version the read observed — checked against the sequential-order
+	// oracle at commit (the protocol-correctness invariant).
+	consumed map[memsys.Addr]ids.TaskID
+
+	// commitStart is when the commit token reached the task.
+	commitStart event.Time
+
+	squashCount int
+}
+
+// reset prepares the task for (re-)execution after a squash.
+func (t *task) reset() {
+	t.state = taskRunning
+	t.ops = nil
+	t.pc = 0
+	t.wordsWritten = 0
+	t.privWords = 0
+	t.consumed = nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"repro/internal/event"
+	"repro/internal/ids"
+)
+
+// TraceKind labels one execution-trace event.
+type TraceKind uint8
+
+const (
+	// TraceStart — a task began (or re-began) executing.
+	TraceStart TraceKind = iota
+	// TraceFinish — a task finished executing (still speculative).
+	TraceFinish
+	// TraceCommitStart — the commit token reached the task.
+	TraceCommitStart
+	// TraceCommitEnd — the task's state finished merging; the token moves on.
+	TraceCommitEnd
+	// TraceSquash — the task was squashed and will re-execute.
+	TraceSquash
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStart:
+		return "start"
+	case TraceFinish:
+		return "finish"
+	case TraceCommitStart:
+		return "commit-start"
+	case TraceCommitEnd:
+		return "commit-end"
+	case TraceSquash:
+		return "squash"
+	default:
+		return "trace(?)"
+	}
+}
+
+// TraceEvent is one timeline record. The execution and commit wavefronts of
+// Figures 5 and 6 are renderings of these events.
+type TraceEvent struct {
+	When event.Time
+	Kind TraceKind
+	Task ids.TaskID
+	Proc ids.ProcID
+}
+
+// EnableTrace turns on timeline recording; call before Run.
+func (s *Simulator) EnableTrace() { s.tracing = true }
+
+func (s *Simulator) trace(when event.Time, kind TraceKind, t *task) {
+	if !s.tracing {
+		return
+	}
+	s.traceLog = append(s.traceLog, TraceEvent{When: when, Kind: kind, Task: t.id, Proc: t.proc})
+}

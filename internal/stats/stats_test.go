@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{Busy: 10, StallMem: 5, StallTask: 3, StallCommit: 2, StallRecovery: 1, StallIdle: 4}
+	if b.Total() != 25 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	if b.Stall() != 15 {
+		t.Fatalf("Stall = %d", b.Stall())
+	}
+}
+
+func TestBreakdownAddAndSum(t *testing.T) {
+	a := Breakdown{Busy: 1, StallMem: 2}
+	b := Breakdown{Busy: 10, StallIdle: 5}
+	a.Add(b)
+	if a.Busy != 11 || a.StallMem != 2 || a.StallIdle != 5 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	s := Sum([]Breakdown{{Busy: 1}, {Busy: 2, StallTask: 7}})
+	if s.Busy != 3 || s.StallTask != 7 {
+		t.Fatalf("Sum wrong: %+v", s)
+	}
+}
+
+// Property: Total is preserved by Add.
+func TestAddPreservesTotal(t *testing.T) {
+	f := func(a, b [6]uint16) bool {
+		x := Breakdown{event.Time(a[0]), event.Time(a[1]), event.Time(a[2]), event.Time(a[3]), event.Time(a[4]), event.Time(a[5])}
+		y := Breakdown{event.Time(b[0]), event.Time(b[1]), event.Time(b[2]), event.Time(b[3]), event.Time(b[4]), event.Time(b[5])}
+		want := x.Total() + y.Total()
+		x.Add(y)
+		return x.Total() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	b := Breakdown{Busy: 25, StallMem: 75}
+	if got := b.BusyFraction(); got != 0.25 {
+		t.Fatalf("BusyFraction = %v", got)
+	}
+	var empty Breakdown
+	if empty.BusyFraction() != 0 {
+		t.Fatal("empty breakdown fraction must be 0")
+	}
+}
+
+func TestSamplerConstantLevel(t *testing.T) {
+	var s Sampler
+	s.Observe(0, 4)
+	if got := s.Mean(100); got != 4 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+}
+
+func TestSamplerSteps(t *testing.T) {
+	var s Sampler
+	s.Observe(0, 0)
+	s.Observe(50, 10) // level 0 for [0,50), 10 for [50,100)
+	if got := s.Mean(100); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	var s Sampler
+	if s.Mean(100) != 0 {
+		t.Fatal("empty sampler mean must be 0")
+	}
+}
+
+func TestSamplerZeroHorizon(t *testing.T) {
+	var s Sampler
+	s.Observe(0, 7)
+	if s.Mean(0) != 0 {
+		t.Fatal("zero-horizon mean must be 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(3)
+	c.Inc(4)
+	if c.Value() != 7 {
+		t.Fatalf("Counter = %d", c.Value())
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.Count() != 0 {
+		t.Fatal("empty mean wrong")
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if m.Value() != 3 || m.Count() != 2 {
+		t.Fatalf("Mean = %v over %d", m.Value(), m.Count())
+	}
+}
+
+func TestSamplerClampsBackwardTime(t *testing.T) {
+	var s Sampler
+	s.Observe(100, 5)
+	s.Observe(50, 9) // out of order: becomes a zero-length interval
+	s.Observe(200, 0)
+	// Level 5 held for [100,100], level 9 for [100,200].
+	if got := s.Mean(200); got != 4.5 {
+		t.Fatalf("Mean = %v, want 4.5", got)
+	}
+}

@@ -1,0 +1,248 @@
+package workload
+
+// The seven applications of the evaluation, parameterized from Table 3 and
+// Figure 1-(a). Instructions per task and written footprints are the
+// paper's full-size values; Tasks is the (scaled) section length we
+// simulate; WriteDensity is calibrated so the measured Commit/Execution
+// ratios land near Table 3 (see DESIGN.md §6 and EXPERIMENTS.md).
+//
+// Characteristic summary driving the expected results:
+//
+//   - P3m: high load imbalance (a few extremely long tasks), privatization
+//     present, tiny Commit/Exec ratio → MultiT&MV wins big; deep version
+//     stacks pressure AMM buffering (Figure 10).
+//   - Tree: privatization dominant, small footprint, low Commit/Exec →
+//     MultiT&SV degenerates to SingleT; laziness gains little.
+//   - Bdna: privatization dominant, large dense footprint, medium
+//     Commit/Exec → MultiT&MV and laziness both help.
+//   - Apsi: privatization dominant, large footprint, high Commit/Exec →
+//     commit wavefront matters even under MultiT&MV.
+//   - Track: no privatization, sparse writes, high Commit/Exec →
+//     MultiT&SV ≈ MultiT&MV; laziness helps everywhere.
+//   - Dsmc3d: no privatization, small footprint, medium Commit/Exec.
+//   - Euler: no privatization, high Commit/Exec, frequent squashes →
+//     laziness helps, FMM recovery hurts (Figure 10).
+
+// P3m returns the P3m (NCSA particle-mesh) pp do100 loop model.
+func P3m() Profile {
+	return Profile{
+		Name:           "P3m",
+		Tasks:          1100,
+		InstrPerTask:   69100,
+		FootprintBytes: 1741, // 1.7 KB
+		WriteDensity:   16,
+		PrivFrac:       0.85,
+		WritePhase:     0.6,
+		ImbalanceCV:    0.30,
+		HeavyTailFrac:  0.012, // a handful of huge tasks per section
+		HeavyTailMax:   380,
+		ReadsPerWrite:  2.0,
+		SharedReadFrac: 0.35,
+		HotReadWords:   4096,
+		DepProb:        0,
+		DepReach:       0,
+		PctTseq:        56.5,
+		QualImbalance:  High,
+		QualPriv:       Med,
+		QualCommit:     Low,
+		PaperCENuma:    0.3,
+		PaperCECmp:     0.1,
+		PaperSquash:    0,
+	}
+}
+
+// Tree returns the Barnes tree-code accel do10 loop model.
+func Tree() Profile {
+	return Profile{
+		Name:           "Tree",
+		Tasks:          400,
+		InstrPerTask:   28700,
+		FootprintBytes: 922, // 0.9 KB
+		WriteDensity:   12,
+		PrivFrac:       0.99,
+		WritePhase:     0.25, // privatized variables written early
+		ImbalanceCV:    0.38,
+		ReadsPerWrite:  2.5,
+		SharedReadFrac: 0.45,
+		HotReadWords:   2048,
+		PctTseq:        92.2,
+		QualImbalance:  Med,
+		QualPriv:       High,
+		QualCommit:     Low,
+		PaperCENuma:    1.4,
+		PaperCECmp:     0.4,
+		PaperSquash:    0,
+	}
+}
+
+// Bdna returns the Perfect-Club Bdna actfor do240 loop model.
+func Bdna() Profile {
+	return Profile{
+		Name:           "Bdna",
+		Tasks:          300,
+		InstrPerTask:   103300,
+		FootprintBytes: 24269, // 23.7 KB
+		WriteDensity:   12,
+		PrivFrac:       0.99,
+		WritePhase:     0.3,
+		ImbalanceCV:    0.30,
+		ReadsPerWrite:  1.6,
+		SharedReadFrac: 0.25,
+		PctTseq:        44.2,
+		QualImbalance:  Low,
+		QualPriv:       High,
+		QualCommit:     Med,
+		PaperCENuma:    6.0,
+		PaperCECmp:     3.9,
+		PaperSquash:    0,
+	}
+}
+
+// Apsi returns the SPECfp2000 Apsi run do[...] loops model.
+func Apsi() Profile {
+	return Profile{
+		Name:           "Apsi",
+		Tasks:          300,
+		TasksPerInvoc:  50,
+		InstrPerTask:   102600,
+		FootprintBytes: 20480, // 20.0 KB
+		WriteDensity:   2,
+		PrivFrac:       0.88,
+		WritePhase:     0.3,
+		ImbalanceCV:    0.26,
+		ReadsPerWrite:  1.6,
+		SharedReadFrac: 0.40,
+		HotReadWords:   1 << 16,
+		PctTseq:        29.3,
+		QualImbalance:  Low,
+		QualPriv:       HighMed,
+		QualCommit:     High,
+		PaperCENuma:    11.4,
+		PaperCECmp:     6.1,
+		PaperSquash:    0,
+	}
+}
+
+// Track returns the Perfect-Club Track nlfilt do300 loop model. Tasks are
+// chunks of 4 iterations.
+func Track() Profile {
+	return Profile{
+		Name:           "Track",
+		Tasks:          400,
+		TasksPerInvoc:  56,
+		InstrPerTask:   58100,
+		FootprintBytes: 2355, // 2.3 KB
+		WriteDensity:   1,    // scattered (subscripted-subscript) writes
+		PrivFrac:       0.006,
+		WritePhase:     1.0,
+		ImbalanceCV:    0.36,
+		ReadsPerWrite:  2.0,
+		SharedReadFrac: 0.40,
+		DepProb:        0.010,
+		DepReach:       24,
+		PctTseq:        47.9,
+		QualImbalance:  Low,
+		QualPriv:       Low,
+		QualCommit:     High,
+		PaperCENuma:    12.6,
+		PaperCECmp:     6.5,
+		PaperSquash:    0.005,
+	}
+}
+
+// Dsmc3d returns the HPF-2 Dsmc3d move3 goto100 loop model. Tasks are
+// chunks of 16 iterations.
+func Dsmc3d() Profile {
+	return Profile{
+		Name:           "Dsmc3d",
+		Tasks:          500,
+		TasksPerInvoc:  64,
+		InstrPerTask:   41200,
+		FootprintBytes: 819, // 0.8 KB
+		WriteDensity:   2,
+		PrivFrac:       0.005,
+		WritePhase:     1.0,
+		ImbalanceCV:    0.55,
+		ReadsPerWrite:  2.2,
+		SharedReadFrac: 0.40,
+		HotReadWords:   1 << 15,
+		DepProb:        0.012,
+		DepReach:       24,
+		PctTseq:        89.8,
+		QualImbalance:  Med,
+		QualPriv:       Low,
+		QualCommit:     Med,
+		PaperCENuma:    3.9,
+		PaperCECmp:     2.0,
+		PaperSquash:    0.005,
+	}
+}
+
+// Euler returns the HPF-2 Euler dflux do100 loop model. Tasks are chunks of
+// 32 iterations. Euler is the squash-dominated application: 0.02 squashes
+// per committed task.
+func Euler() Profile {
+	return Profile{
+		Name:           "Euler",
+		Tasks:          600,
+		TasksPerInvoc:  48,
+		InstrPerTask:   22300,
+		FootprintBytes: 7475, // 7.3 KB
+		WriteDensity:   3,
+		PrivFrac:       0.007,
+		WritePhase:     1.0,
+		ImbalanceCV:    0.32,
+		ReadsPerWrite:  1.5,
+		SharedReadFrac: 0.45,
+		HotReadWords:   1 << 15,
+		DepProb:        0.05,
+		DepReach:       12,
+		PctTseq:        58.8,
+		QualImbalance:  Low,
+		QualPriv:       Low,
+		QualCommit:     High,
+		PaperCENuma:    14.5,
+		PaperCECmp:     7.5,
+		PaperSquash:    0.02,
+	}
+}
+
+// Apps returns the full application suite in the paper's presentation
+// order.
+func Apps() []Profile {
+	return []Profile{P3m(), Tree(), Bdna(), Apsi(), Track(), Dsmc3d(), Euler()}
+}
+
+// AppByName returns the profile with the given name, or false.
+func AppByName(name string) (Profile, bool) {
+	for _, p := range Apps() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// StandardScale is the scaling the reproduction harness applies to every
+// profile: half the tasks and a quarter of the instructions and footprint
+// of the full-size applications. The scaling preserves the ratios that
+// drive the buffering results (Commit/Execution, footprint density,
+// imbalance, squash intensity) while keeping a full figure sweep tractable.
+// P3m keeps its full written footprint: it is tiny (1.7 KB) and the
+// same-set version pressure of Figure 10 depends on it.
+func StandardScale(p Profile) Profile {
+	foot := 0.25
+	if p.Name == "P3m" {
+		foot = 1.0
+	}
+	return p.Scale(0.5, 0.25, foot)
+}
+
+// StandardSuite returns the scaled application suite the harness runs.
+func StandardSuite() []Profile {
+	apps := Apps()
+	for i := range apps {
+		apps[i] = StandardScale(apps[i])
+	}
+	return apps
+}

@@ -1,0 +1,12 @@
+package workload
+
+import "testing"
+
+func BenchmarkTaskGeneration(b *testing.B) {
+	g := NewGenerator(StandardScale(Bdna()), 1)
+	var buf []Op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = g.Task(i%g.NumTasks(), buf[:0])
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/rng"
+)
+
+// OpKind is the kind of one task operation.
+type OpKind uint8
+
+const (
+	// OpCompute executes Instr instructions with no memory access.
+	OpCompute OpKind = iota
+	// OpRead loads one word.
+	OpRead
+	// OpWrite stores one word.
+	OpWrite
+)
+
+// Op is one operation of a task's dynamic stream.
+type Op struct {
+	Kind  OpKind
+	Addr  memsys.Addr
+	Instr int // instructions in this compute chunk (OpCompute only)
+}
+
+// Address-space layout (word addresses). The regions are far apart so they
+// can never alias.
+const (
+	// SharedBase is the read-only shared region: data written before the
+	// speculative section (architectural state).
+	SharedBase memsys.Addr = 0
+
+	// sharedWords sizes the read-only region at 64 KB: a hot read set that
+	// becomes cache-resident after warm-up (real numerical loops re-read a
+	// bounded working set), leaving the version traffic and cold footprint
+	// as the memory-system load.
+	sharedWords = 1 << 14
+
+	// PrivBase is the mostly-privatization region: every task writes its own
+	// version of these same variables (the work(k) pattern of Figure 1-(b)).
+	PrivBase memsys.Addr = 1 << 24
+
+	// UniqueBase is the pool of task-private regions. A region is reused by
+	// tasks regionPool apart — never concurrently — which bounds the address
+	// space without creating cross-task reads.
+	UniqueBase memsys.Addr = 1 << 26
+
+	// regionPool is the number of distinct task-private regions.
+	regionPool = 96
+	// regionStride is the size of one task-private region, in words. It is
+	// deliberately NOT a power of two: a power-of-two stride would start
+	// every region at cache set 0 and alias the regions of all concurrent
+	// tasks onto the same few sets — an artifact real array bases do not
+	// have. 66064 words = 4129 lines, odd, hence coprime with any
+	// power-of-two set count.
+	regionStride = 1<<16 + 528
+
+	// CommBase is the communication region: the words through which tasks
+	// occasionally read their predecessors' results — the source of
+	// cross-task RAW dependences and, when out of order, squashes.
+	CommBase memsys.Addr = 1 << 28
+
+	// commChannels is the number of communication words.
+	commChannels = 64
+)
+
+// Generator produces the deterministic operation stream of each task of a
+// profile. The stream of task i is a pure function of (profile, seed, i),
+// so a squashed task re-executes the identical stream.
+type Generator struct {
+	prof Profile
+	seed uint64
+
+	privLines   int
+	uniqueLines int
+}
+
+// NewGenerator returns a generator for the profile. It panics if the
+// profile fails validation: generating from a malformed profile is a
+// programming error.
+func NewGenerator(prof Profile, seed uint64) *Generator {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	lines := prof.LinesWritten()
+	priv := int(float64(lines)*prof.PrivFrac + 0.5)
+	if priv > lines {
+		priv = lines
+	}
+	return &Generator{
+		prof:        prof,
+		seed:        seed,
+		privLines:   priv,
+		uniqueLines: lines - priv,
+	}
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Name returns the application name.
+func (g *Generator) Name() string { return g.prof.Name }
+
+// NumTasks returns the number of tasks in the section.
+func (g *Generator) NumTasks() int { return g.prof.Tasks }
+
+// TasksPerInvocation returns the invocation granularity (0 = one
+// invocation).
+func (g *Generator) TasksPerInvocation() int { return g.prof.TasksPerInvoc }
+
+// channelAddr returns the communication word of task index. Channels
+// occupy one line each by default; packed layouts put 16 per line (false
+// sharing, for the conflict-granularity ablation).
+func (g *Generator) channelAddr(index int) memsys.Addr {
+	if g.prof.PackedChannels {
+		return CommBase + memsys.Addr(index%commChannels)
+	}
+	return CommBase + memsys.Addr(index%commChannels)*memsys.WordsPerLine
+}
+
+// timed pairs an operation with its fractional position in the task.
+type timed struct {
+	pos  float64
+	seq  int
+	kind OpKind
+	addr memsys.Addr
+}
+
+// LengthMultiplier returns the deterministic task-length multiplier of task
+// index (mean ~1). It is exposed so tests can verify the imbalance model.
+func (g *Generator) LengthMultiplier(index int) float64 {
+	r := rng.New(g.seed ^ 0x1eaf<<32 ^ uint64(index)*0x9e3779b97f4a7c15)
+	if g.prof.HeavyTailFrac > 0 && r.Bool(g.prof.HeavyTailFrac) {
+		return r.Pareto(g.prof.HeavyTailMax/4, g.prof.HeavyTailMax, 1.2)
+	}
+	if g.prof.ImbalanceCV <= 0 {
+		return 1
+	}
+	return r.LogNormalCV(1, g.prof.ImbalanceCV)
+}
+
+// Task generates the operation stream of task index (0-based), appending
+// into buf to avoid allocation, and returns the stream and its total
+// instruction count. Streams interleave compute chunks with the memory
+// operations of the profile: versioned writes (privatized and task-private
+// lines), re-reads of own data, scattered shared reads, and occasional
+// cross-task communication.
+func (g *Generator) Task(index int, buf []Op) (ops []Op, instr int) {
+	p := &g.prof
+	r := rng.New(g.seed ^ uint64(index)*0x9e3779b97f4a7c15)
+	mul := g.LengthMultiplier(index)
+	instr = int(float64(p.InstrPerTask) * mul)
+	if instr < 1 {
+		instr = 1
+	}
+
+	density := p.WriteDensity
+	var mem []timed
+	add := func(pos float64, kind OpKind, addr memsys.Addr) {
+		mem = append(mem, timed{pos: pos, seq: len(mem), kind: kind, addr: addr})
+	}
+
+	// Writes, spread over the first WritePhase of the task. Privatized lines
+	// are the same addresses for every task; private lines live in the
+	// task's pooled region. The pattern is MOSTLY privatization: with
+	// probability PrivFrac a task writes the shared-name variables (creating
+	// its own version of them); otherwise its whole footprint is private.
+	privLines := g.privLines
+	if privLines > 0 && !r.Bool(p.PrivFrac) {
+		privLines = 0
+	}
+	uniqueLines := g.privLines + g.uniqueLines - privLines
+	region := memsys.Addr(index%regionPool) * regionStride
+	var written []memsys.Addr
+	writeLine := func(base memsys.Addr, line, k int) {
+		la := (base + memsys.Addr(line*memsys.WordsPerLine)).Line()
+		for w := 0; w < density; w++ {
+			pos := p.WritePhase * (float64(k) + r.Float64()) / float64(privLines+uniqueLines)
+			a := la.Word(w)
+			add(pos, OpWrite, a)
+			written = append(written, a)
+		}
+	}
+	for i := 0; i < privLines; i++ {
+		writeLine(PrivBase, i, i)
+	}
+	for i := 0; i < uniqueLines; i++ {
+		writeLine(UniqueBase+region, i, privLines+i)
+	}
+
+	// Reads: re-reads of own writes late in the task, scattered shared
+	// reads throughout.
+	totalReads := int(p.ReadsPerWrite*float64(len(written)) + 0.5)
+	sharedReads := int(float64(totalReads) * p.SharedReadFrac)
+	ownReads := totalReads - sharedReads
+	for i := 0; i < ownReads && len(written) > 0; i++ {
+		a := written[r.Intn(len(written))]
+		// Own values are consumed after the write phase.
+		add(p.WritePhase+(1-p.WritePhase)*r.Float64(), OpRead, a)
+	}
+	hot := p.HotReadWords
+	if hot <= 0 {
+		hot = sharedWords
+	}
+	for i := 0; i < sharedReads; i++ {
+		add(r.Float64(), OpRead, SharedBase+memsys.Addr(r.Intn(hot)))
+	}
+
+	// Cross-task communication: every task publishes into its channel near
+	// its end; with probability DepProb it consumes a recent predecessor's
+	// channel near its start — the out-of-order RAW candidate. Channels live
+	// one per line so that communication does not create artificial
+	// same-line version conflicts.
+	add(0.97, OpWrite, g.channelAddr(index))
+	if p.DepProb > 0 && index > 0 && r.Bool(p.DepProb) {
+		delta := 1 + r.Intn(p.DepReach)
+		if delta > index {
+			delta = index
+		}
+		add(0.03, OpRead, g.channelAddr(index-delta))
+	}
+
+	// Sort by position (stable by construction sequence) and interleave
+	// compute chunks proportional to the gaps.
+	sort.Slice(mem, func(i, j int) bool {
+		if mem[i].pos != mem[j].pos {
+			return mem[i].pos < mem[j].pos
+		}
+		return mem[i].seq < mem[j].seq
+	})
+
+	ops = buf[:0]
+	emitted := 0
+	prev := 0.0
+	for _, m := range mem {
+		chunk := int(float64(instr) * (m.pos - prev))
+		if chunk > 0 {
+			ops = append(ops, Op{Kind: OpCompute, Instr: chunk})
+			emitted += chunk
+		}
+		prev = m.pos
+		ops = append(ops, Op{Kind: m.kind, Addr: m.addr})
+	}
+	if rest := instr - emitted; rest > 0 {
+		ops = append(ops, Op{Kind: OpCompute, Instr: rest})
+	}
+	return ops, instr
+}
+
+// SequentialOrderOracle returns, for testing, the producer task index that
+// a read of addr by task index must observe under sequential semantics
+// given this generator's write pattern, or -1 for architectural data. Only
+// meaningful for privatized and communication addresses (task-private
+// regions are written and read by the same task).
+func (g *Generator) SequentialOrderOracle(addr memsys.Addr, index int) int {
+	switch {
+	case addr >= CommBase:
+		ch := int(addr - CommBase)
+		if !g.prof.PackedChannels {
+			ch /= memsys.WordsPerLine
+		}
+		// The latest predecessor writing channel ch. The task's own channel
+		// write happens after its channel read in program order, so the
+		// producer is strictly before index.
+		for t := index - 1; t >= 0; t-- {
+			if t%commChannels == ch {
+				return t
+			}
+		}
+		return -1
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+)
+
+// Trace is an explicit workload: the caller supplies each task's operation
+// stream directly instead of synthesizing one from a Profile. It lets a
+// downstream user run their own access patterns — a kernel sketch, a
+// recorded address trace, a hand-built dependence structure — through the
+// buffering schemes.
+//
+// Task streams must respect the simulator's conventions: a task has at
+// most one version of any word (repeated writes to the same word are
+// idempotent versioning-wise), and streams are immutable once built (a
+// squashed task re-executes the same stream).
+type Trace struct {
+	name          string
+	tasks         [][]Op
+	tasksPerInvoc int
+	instr         []int
+}
+
+// NewTrace builds an explicit workload from per-task operation streams.
+// tasksPerInvoc of 0 means a single invocation. It panics on an empty task
+// list or a task with no operations: an explicit trace with nothing to run
+// is a construction error.
+func NewTrace(name string, tasks [][]Op, tasksPerInvoc int) *Trace {
+	if name == "" {
+		name = "trace"
+	}
+	if len(tasks) == 0 {
+		panic("workload: empty trace")
+	}
+	t := &Trace{name: name, tasksPerInvoc: tasksPerInvoc, instr: make([]int, len(tasks))}
+	for i, ops := range tasks {
+		if len(ops) == 0 {
+			panic(fmt.Sprintf("workload: trace task %d has no operations", i))
+		}
+		n := 0
+		for _, op := range ops {
+			if op.Kind == OpCompute {
+				n += op.Instr
+			}
+		}
+		if n == 0 {
+			// The simulator needs at least one instruction of work per task
+			// (zero-length tasks would commit at time zero en masse).
+			n = 1
+			ops = append([]Op{{Kind: OpCompute, Instr: 1}}, ops...)
+		}
+		t.tasks = append(t.tasks, ops)
+		t.instr[i] = n
+	}
+	return t
+}
+
+// Name implements the simulator's workload interface.
+func (t *Trace) Name() string { return t.name }
+
+// NumTasks implements the simulator's workload interface.
+func (t *Trace) NumTasks() int { return len(t.tasks) }
+
+// TasksPerInvocation implements the simulator's workload interface.
+func (t *Trace) TasksPerInvocation() int { return t.tasksPerInvoc }
+
+// Task returns task index's stream. The stored stream is returned directly
+// (the simulator treats it as read-only); buf is ignored.
+func (t *Trace) Task(index int, buf []Op) ([]Op, int) {
+	_ = buf
+	return t.tasks[index], t.instr[index]
+}
+
+// TraceBuilder accumulates one task's operations fluently.
+type TraceBuilder struct {
+	ops []Op
+}
+
+// Compute appends n instructions of computation.
+func (b *TraceBuilder) Compute(n int) *TraceBuilder {
+	if n > 0 {
+		b.ops = append(b.ops, Op{Kind: OpCompute, Instr: n})
+	}
+	return b
+}
+
+// Read appends a load of the given word address.
+func (b *TraceBuilder) Read(addr memsys.Addr) *TraceBuilder {
+	b.ops = append(b.ops, Op{Kind: OpRead, Addr: addr})
+	return b
+}
+
+// Write appends a store to the given word address.
+func (b *TraceBuilder) Write(addr memsys.Addr) *TraceBuilder {
+	b.ops = append(b.ops, Op{Kind: OpWrite, Addr: addr})
+	return b
+}
+
+// Ops returns the accumulated stream.
+func (b *TraceBuilder) Ops() []Op { return b.ops }

@@ -1,0 +1,99 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prof, ok := repro.AppByName("Tree")
+	if !ok {
+		t.Fatal("Tree missing")
+	}
+	prof = prof.Scale(0.1, 0.1, 0.25)
+	seq := repro.RunSequential(repro.NUMA16(), prof, 1)
+	res := repro.Run(repro.NUMA16(), repro.MultiTMVLazy, prof, 1)
+	if res.Speedup(seq.ExecCycles) <= 1 {
+		t.Fatalf("speedup = %f", res.Speedup(seq.ExecCycles))
+	}
+	if res.OracleViolations != 0 {
+		t.Fatal("sequential semantics violated")
+	}
+}
+
+func TestPublicTaxonomy(t *testing.T) {
+	if len(repro.AllSchemes()) != 8 {
+		t.Fatal("AllSchemes wrong")
+	}
+	if !repro.RequiredSupports(repro.MultiTMVLazy).Has(repro.Support(0)) { // CTID
+		t.Fatal("supports not exposed")
+	}
+	if len(repro.UpgradePath()) != 4 || len(repro.ExistingSchemes()) < 12 {
+		t.Fatal("taxonomy artifacts missing")
+	}
+	if repro.SingleTEager.Sep != repro.SingleT || repro.MultiTMVFMM.Merge != repro.FMM {
+		t.Fatal("axis constants wrong")
+	}
+}
+
+func TestPublicSuite(t *testing.T) {
+	if len(repro.Apps()) != 7 || len(repro.StandardSuite()) != 7 {
+		t.Fatal("suite wrong")
+	}
+	if repro.P3m().Name != "P3m" || repro.Euler().Name != "Euler" {
+		t.Fatal("app constructors wrong")
+	}
+	if _, ok := repro.AppByName("nope"); ok {
+		t.Fatal("unknown app found")
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	if repro.NUMA16().Procs != 16 || repro.CMP8().Procs != 8 {
+		t.Fatal("machine configs wrong")
+	}
+	if repro.NUMA16BigL2().L2.Ways != 16 {
+		t.Fatal("Lazy.L2 variant wrong")
+	}
+}
+
+func TestPublicTracing(t *testing.T) {
+	prof := repro.Tree().Scale(0.05, 0.05, 0.25)
+	s := repro.NewSimulator(repro.CMP8(), repro.SingleTEager, prof, 2)
+	s.EnableTrace()
+	r := s.Run()
+	if len(r.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+}
+
+func TestPublicFigures5And6(t *testing.T) {
+	var buf bytes.Buffer
+	if res := repro.Figure5(&buf, 1); len(res) != 3 {
+		t.Fatal("Figure5 wrong")
+	}
+	if res := repro.Figure6(&buf, 1); len(res) != 4 {
+		t.Fatal("Figure6 wrong")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no rendering")
+	}
+}
+
+func TestPublicGridAndSummary(t *testing.T) {
+	apps := []repro.Profile{repro.Track().Scale(0.1, 0.1, 0.25)}
+	g := repro.Figure11(repro.Options{Apps: apps, Seed: 4})
+	if len(g.Apps) != 1 {
+		t.Fatal("grid wrong")
+	}
+	s := repro.Summarize(g)
+	if s.Machine != "CMP8" {
+		t.Fatal("summary wrong")
+	}
+	chars := repro.Characterize(repro.Options{Apps: apps, Seed: 4})
+	if len(chars) != 1 || chars[0].FootprintKB <= 0 {
+		t.Fatal("characterization wrong")
+	}
+}
