@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test fmt vet race verify report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# fmt fails when any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the packages the experiment orchestrator made concurrent.
+race:
+	$(GO) test -race ./internal/exp ./internal/report ./internal/sim
+
+# verify is the CI gate: formatting, vet, build, full tests, race tests.
+verify: fmt vet build test race
+
+# report regenerates every table and figure through the orchestrator.
+report:
+	$(GO) run ./cmd/tlsreport -metrics

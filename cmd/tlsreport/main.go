@@ -1,5 +1,9 @@
 // tlsreport regenerates the tables and figures of the paper's evaluation.
 //
+// All simulations run through the internal/exp orchestrator: a worker pool
+// (-jobs) with an optional persistent result cache (-cache) and a run
+// metrics summary (-metrics). Output is byte-identical at any worker count.
+//
 // Usage:
 //
 //	tlsreport                 # everything (several minutes)
@@ -7,6 +11,7 @@
 //	                          # fig4 fig5 fig6 fig8 fig9 fig10 fig11 summary
 //	tlsreport -only scaling   # extension: machine-size sweep (4-32 procs)
 //	tlsreport -apps Tree,Euler -seed 2
+//	tlsreport -jobs 8 -cache .tlscache -metrics   # parallel + memoized
 package main
 
 import (
@@ -19,6 +24,13 @@ import (
 	"repro/internal/report"
 )
 
+// artifacts are the valid -only values, in rendering order ("scaling" is
+// the extension and only runs when requested explicitly).
+var artifacts = []string{
+	"table1", "table2", "fig2", "fig4", "fig8", "fig5", "fig6",
+	"fig1", "table3", "fig9", "fig10", "fig11", "summary", "scaling",
+}
+
 func main() {
 	var (
 		only    = flag.String("only", "", "regenerate a single artifact")
@@ -27,10 +39,30 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-run progress")
 		csvDir  = flag.String("csv", "", "also write raw results as CSV files into this directory")
 		svgDir  = flag.String("svg", "", "also write the performance figures as SVG charts into this directory")
+		jobs    = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		cache   = flag.String("cache", "", "persistent result-cache directory (warm reruns skip unchanged simulations)")
+		metrics = flag.Bool("metrics", false, "print an orchestration summary line to stderr at exit")
 	)
 	flag.Parse()
 
-	opt := repro.Options{Seed: *seed}
+	if *only != "" && !known(*only) {
+		fmt.Fprintf(os.Stderr, "tlsreport: unknown artifact %q; valid -only values: %s\n",
+			*only, strings.Join(artifacts, " "))
+		os.Exit(2)
+	}
+
+	opt := repro.Options{Seed: *seed, Jobs: *jobs, CacheDir: *cache}
+	if *cache != "" {
+		// Fail fast on an unusable cache directory rather than silently
+		// running uncached.
+		if _, err := repro.NewResultCache(*cache); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsreport: cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		opt.Metrics = new(repro.RunMetrics)
+	}
 	if *apps != "" {
 		for _, name := range strings.Split(*apps, ",") {
 			p, ok := repro.AppByName(strings.TrimSpace(name))
@@ -54,6 +86,15 @@ func main() {
 
 	w := os.Stdout
 	want := func(name string) bool { return *only == "" || *only == name }
+
+	// Job failures (simulations that crashed even after the orchestrator's
+	// retry) are collected and reported at exit instead of killing the
+	// whole regeneration.
+	var jobErrs []error
+	collect := func(g *repro.Grid) *repro.Grid {
+		jobErrs = append(jobErrs, g.Errors...)
+		return g
+	}
 
 	if want("table1") {
 		report.RenderTable1(w)
@@ -90,7 +131,7 @@ func main() {
 	}
 	var fig9 *repro.Grid
 	if want("fig9") || want("summary") {
-		fig9 = repro.Figure9(opt)
+		fig9 = collect(repro.Figure9(opt))
 	}
 	if want("fig9") {
 		report.RenderGrid(w, fig9, "Figure 9. Separation of task state, eager vs lazy AMM (NUMA)")
@@ -103,6 +144,7 @@ func main() {
 	}
 	if want("fig10") {
 		g, lazyL2 := repro.Figure10(opt)
+		collect(g)
 		report.RenderGrid(w, g, "Figure 10. Architectural (AMM) vs future (FMM) main memory (NUMA)")
 		report.RenderAverages(w, g)
 		if lazyL2.Result.Commits > 0 {
@@ -118,7 +160,7 @@ func main() {
 	}
 	var fig11 *repro.Grid
 	if want("fig11") || want("summary") {
-		fig11 = repro.Figure11(opt)
+		fig11 = collect(repro.Figure11(opt))
 	}
 	if want("fig11") {
 		report.RenderGrid(w, fig11, "Figure 11. Separation of task state, eager vs lazy AMM (CMP)")
@@ -139,9 +181,30 @@ func main() {
 			return report.RenderScalabilitySVG(f, pts)
 		})
 	}
+
+	if opt.Metrics != nil {
+		fmt.Fprintln(os.Stderr, "tlsreport "+opt.Metrics.Snapshot().String())
+	}
+	if len(jobErrs) > 0 {
+		for _, err := range jobErrs {
+			fmt.Fprintf(os.Stderr, "tlsreport: job failed: %v\n", err)
+		}
+		os.Exit(1)
+	}
 }
 
-// writeCSV writes one CSV artifact when -csv is set.
+func known(artifact string) bool {
+	for _, a := range artifacts {
+		if a == artifact {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCSV writes one CSV/SVG artifact when the directory flag is set; any
+// write, flush or close error is fatal so a truncated artifact can never
+// pass silently.
 func writeCSV(dir, name string, write func(*os.File) error) {
 	if dir == "" {
 		return
@@ -155,8 +218,12 @@ func writeCSV(dir, name string, write func(*os.File) error) {
 		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "tlsreport: writing %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tlsreport: writing %s: %v\n", name, err)
 		os.Exit(1)
 	}

@@ -2,6 +2,10 @@
 // prints a CSV of results, one row per (value, scheme) — the generic
 // sensitivity-analysis companion to the fixed figures of tlsreport.
 //
+// The whole sweep is submitted as one batch to the experiment orchestrator
+// (-jobs workers, optional -cache memoization); rows print in sweep order
+// regardless of which worker finished first.
+//
 // Usage:
 //
 //	tlssweep -app Euler -param depprob -values 0,0.05,0.1,0.2 \
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -33,8 +38,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		tasks    = flag.Float64("tasks", 0.25, "task-count scale")
 		instr    = flag.Float64("instr", 0.1, "instruction scale")
+		jobsN    = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache", "", "persistent result-cache directory")
 	)
 	flag.Parse()
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlssweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	base, ok := repro.AppByName(*appName)
 	if !ok {
@@ -63,19 +77,13 @@ func main() {
 		vals = append(vals, f)
 	}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	die := func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlssweep: %v\n", err)
-			os.Exit(1)
-		}
+	// Resolve each sweep value to its (profile, machine) point.
+	type point struct {
+		value float64
+		prof  repro.Profile
+		mach  *repro.Machine
 	}
-	die(w.Write([]string{
-		"param", "value", "scheme", "exec_cycles", "speedup", "busy_frac",
-		"squash_events", "tasks_squashed", "overflow_spills", "commit_exec_pct",
-	}))
-
+	points := make([]point, 0, len(vals))
 	for _, v := range vals {
 		prof := base
 		mach := repro.NUMA16()
@@ -101,15 +109,49 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tlssweep: unknown parameter %q\n", *param)
 			os.Exit(2)
 		}
-		seq := repro.RunSequential(mach, prof, *seed)
+		points = append(points, point{value: v, prof: prof, mach: mach})
+	}
+
+	// One batch: a sequential baseline per point, then every scheme run.
+	jobs := make([]repro.Job, 0, len(points)*(len(schemes)+1))
+	for _, pt := range points {
+		jobs = append(jobs, repro.Job{Machine: pt.mach, Profile: pt.prof, Seed: *seed, Sequential: true})
 		for _, sch := range schemes {
-			r := repro.Run(mach, sch, prof, *seed)
+			jobs = append(jobs, repro.Job{Machine: pt.mach, Scheme: sch, Profile: pt.prof, Seed: *seed})
+		}
+	}
+	runner := &repro.Runner{Workers: *jobsN}
+	if *cacheDir != "" {
+		cache, err := repro.NewResultCache(*cacheDir)
+		die(err)
+		runner.Cache = cache
+	}
+	results, err := runner.RunBatch(context.Background(), jobs)
+	die(err)
+
+	w := csv.NewWriter(os.Stdout)
+	die(w.Write([]string{
+		"param", "value", "scheme", "exec_cycles", "speedup", "busy_frac",
+		"squash_events", "tasks_squashed", "overflow_spills", "commit_exec_pct",
+	}))
+
+	i := 0
+	for _, pt := range points {
+		seqRes := results[i]
+		i++
+		die(seqRes.Err)
+		seq := seqRes.Result.ExecCycles
+		for _, sch := range schemes {
+			jr := results[i]
+			i++
+			die(jr.Err)
+			r := jr.Result
 			die(w.Write([]string{
 				*param,
-				strconv.FormatFloat(v, 'g', 6, 64),
+				strconv.FormatFloat(pt.value, 'g', 6, 64),
 				sch.String(),
 				strconv.FormatUint(uint64(r.ExecCycles), 10),
-				strconv.FormatFloat(r.Speedup(seq.ExecCycles), 'f', 3, 64),
+				strconv.FormatFloat(r.Speedup(seq), 'f', 3, 64),
 				strconv.FormatFloat(r.Agg.BusyFraction(), 'f', 4, 64),
 				strconv.Itoa(r.SquashEvents),
 				strconv.Itoa(r.TasksSquashed),
@@ -118,4 +160,6 @@ func main() {
 			}))
 		}
 	}
+	w.Flush()
+	die(w.Error())
 }

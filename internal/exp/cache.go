@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+
+	"repro/internal/sim"
+)
+
+// cacheSchemaVersion invalidates every on-disk entry when the serialized
+// format — or the meaning of any Job input — changes incompatibly. Bump it
+// whenever sim.Result or the simulation semantics change.
+const cacheSchemaVersion = "exp-cache-v1"
+
+// cacheVersion combines the schema version with the module's build version
+// so a rebuilt binary with different simulation code never serves stale
+// results.
+func cacheVersion() string {
+	v := cacheSchemaVersion
+	if info, ok := debug.ReadBuildInfo(); ok {
+		v += "/" + info.Main.Version
+		if info.Main.Sum != "" {
+			v += "@" + info.Main.Sum
+		}
+	}
+	return v
+}
+
+// Cache is a persistent on-disk result cache: one JSON file per completed
+// job, keyed by the job's content hash plus the cache version. Entries for
+// jobs whose inputs change are simply never looked up again; delete the
+// directory to reclaim the space.
+type Cache struct {
+	dir     string
+	version string
+}
+
+// NewCache opens (creating if necessary) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, version: cacheVersion()}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the on-disk record. Key and Version are stored so a hash
+// collision or a stale file can never masquerade as a hit.
+type cacheEntry struct {
+	Key     string
+	Version string
+	Result  sim.Result
+}
+
+// path derives the entry filename from the job hash and the cache version.
+func (c *Cache) path(j Job) string {
+	sum := sha256.Sum256([]byte(j.Key() + "\n" + c.version))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// Get returns the cached result for j, if a valid entry exists. Corrupt or
+// mismatched entries are treated as misses.
+func (c *Cache) Get(j Job) (sim.Result, bool) {
+	data, err := os.ReadFile(c.path(j))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != j.Key() || e.Version != c.version {
+		return sim.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores the result for j, atomically (write to a temp file, rename) so
+// concurrent workers and interrupted runs never leave a torn entry.
+func (c *Cache) Put(j Job, r sim.Result) error {
+	data, err := json.Marshal(cacheEntry{Key: j.Key(), Version: c.version, Result: r})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(j))
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJob()
+	if _, ok := c.Get(j); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := j.Execute()
+	if err := c.Put(j, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(j)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	// The JSON round trip must be lossless — warm-cache report output is
+	// required to be byte-identical to a cold run.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached result differs from computed result:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCacheVersionInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	c1 := &Cache{dir: dir, version: "version-a"}
+	j := tinyJob()
+	if err := c1.Put(j, j.Execute()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &Cache{dir: dir, version: "version-b"}
+	if _, ok := c2.Get(j); ok {
+		t.Fatal("entry from another module version served")
+	}
+	if _, ok := c1.Get(j); !ok {
+		t.Fatal("same-version entry lost")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJob()
+	if err := c.Put(j, j.Execute()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(j), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+func TestWarmBatchExecutesNothing(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testBatch()
+
+	cold := &Metrics{}
+	first, err := (&Runner{Workers: 4, Cache: cache, Metrics: cold}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.Snapshot()
+	if cs.Executed != len(jobs) || cs.CacheHits != 0 {
+		t.Fatalf("cold run: %+v", cs)
+	}
+
+	warm := &Metrics{}
+	second, err := (&Runner{Workers: 4, Cache: cache, Metrics: warm}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.Snapshot()
+	if ws.Executed != 0 {
+		t.Fatalf("warm rerun executed %d simulations, want 0", ws.Executed)
+	}
+	if ws.CacheHits != len(jobs) {
+		t.Fatalf("warm rerun hit %d/%d", ws.CacheHits, len(jobs))
+	}
+	for i := range jobs {
+		if !second[i].Cached {
+			t.Fatalf("job %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Fatalf("job %d: cached result differs from executed result", i)
+		}
+	}
+}
+
+func TestCacheMissOnChangedInput(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJob()
+	if err := cache.Put(j, j.Execute()); err != nil {
+		t.Fatal(err)
+	}
+	j.Seed = 99
+	if _, ok := cache.Get(j); ok {
+		t.Fatal("changed seed must miss")
+	}
+}

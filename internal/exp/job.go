@@ -1,0 +1,118 @@
+// Package exp is the experiment orchestrator. It turns the repository's
+// simulation sweeps — every figure, table and scaling extension of the
+// paper's evaluation — into batches of canonical, content-hashable Jobs
+// executed by a worker pool, with a persistent on-disk result cache and a
+// run-metrics layer.
+//
+// The design exploits the property repro.Run documents: every simulation is
+// a deterministic, isolated function of (machine, scheme, profile, seed,
+// ablation knobs). That makes jobs freely reorderable across workers — the
+// assembled outputs are byte-identical to a serial sweep — and makes a
+// stable content hash of the inputs a sound memoization key, so a warm
+// rerun only re-simulates what changed.
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Ablation bundles the simulator's ablation knobs so a Job can describe the
+// ablation benchmarks as well as the paper's design points. The zero value
+// is the baseline protocol.
+type Ablation struct {
+	// LineGranularity makes violation detection operate at cache-line
+	// granularity instead of the baseline word granularity.
+	LineGranularity bool
+	// ForceMTID replaces VCL version combining with the memory-side
+	// task-ID filter (the Zhang99&T alternative for in-order lazy merging).
+	ForceMTID bool
+	// ORBCommit switches eager merging from write-backs to ORB-style
+	// ownership requests.
+	ORBCommit bool
+}
+
+// Job is the canonical description of one simulation: everything the run is
+// a deterministic function of, and nothing else. Two Jobs with equal fields
+// produce equal Results, which is what makes Key a sound cache key.
+type Job struct {
+	// Machine is the simulated architecture. Its unexported topology is
+	// derived from Kind, Procs and Banks by the machine constructors, so
+	// the exported fields fully determine it (and hence the hash).
+	Machine *machine.Config
+	// Scheme is the buffering design point. Ignored when Sequential is set.
+	Scheme core.Scheme
+	// Profile is the application's speculative section.
+	Profile workload.Profile
+	// Seed drives the deterministic workload generator.
+	Seed uint64
+	// Sequential selects the sequential-execution baseline run used to
+	// normalize speedups instead of a speculative run of Scheme.
+	Sequential bool
+	// Ablation applies protocol ablation knobs (zero = baseline).
+	Ablation Ablation
+}
+
+// Key returns the job's stable content hash: a hex SHA-256 over the
+// canonical JSON encoding of every input field. Equal jobs hash equally
+// across processes, which keys the persistent result cache.
+func (j Job) Key() string {
+	// A canonical struct keeps the encoding independent of any future
+	// non-input fields on Job itself.
+	canonical := struct {
+		Machine    *machine.Config
+		Scheme     core.Scheme
+		Profile    workload.Profile
+		Seed       uint64
+		Sequential bool
+		Ablation   Ablation
+	}{j.Machine, j.Scheme, j.Profile, j.Seed, j.Sequential, j.Ablation}
+	data, err := json.Marshal(canonical)
+	if err != nil {
+		// Only unmarshalable values (NaN floats in a profile) can land
+		// here; fold the error into the hash rather than failing a sweep.
+		data = []byte("unhashable: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Label returns a short human-readable description for progress and error
+// reporting.
+func (j Job) Label() string {
+	m := "<nil>"
+	if j.Machine != nil {
+		m = j.Machine.Name
+	}
+	k := j.Scheme.String()
+	if j.Sequential {
+		k = "sequential"
+	}
+	return fmt.Sprintf("%s/%s/%s seed %d", m, j.Profile.Name, k, j.Seed)
+}
+
+// Execute runs the simulation the job describes. It is a pure function of
+// the job's fields.
+func (j Job) Execute() sim.Result {
+	if j.Sequential {
+		return sim.RunSequential(j.Machine, j.Profile, j.Seed)
+	}
+	s := sim.New(j.Machine, j.Scheme, workload.NewGenerator(j.Profile, j.Seed))
+	if j.Ablation.LineGranularity {
+		s.SetLineGranularityConflicts(true)
+	}
+	if j.Ablation.ForceMTID {
+		s.ForceMTID()
+	}
+	if j.Ablation.ORBCommit {
+		s.SetORBCommit(true)
+	}
+	return s.Run()
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// JobResult pairs a Job with its outcome.
+type JobResult struct {
+	Job Job
+	// Result is the simulation outcome (zero when Err is non-nil).
+	Result sim.Result
+	// Err reports a job that failed every attempt (a crashed simulation)
+	// or was cancelled before it started.
+	Err error
+	// Cached reports that Result came from the persistent cache and no
+	// simulation executed.
+	Cached bool
+	// Attempts is how many times the simulation ran (0 for cache hits and
+	// cancelled jobs; >1 when panic retries were needed).
+	Attempts int
+	// Wall is the time spent executing (all attempts; 0 for cache hits).
+	Wall time.Duration
+}
+
+// Runner executes batches of Jobs on a worker pool. The zero value runs
+// with GOMAXPROCS workers, one panic retry, no cache and no metrics.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS, 1 runs serially.
+	Workers int
+	// Cache, when non-nil, memoizes results across runs.
+	Cache *Cache
+	// Metrics, when non-nil, accumulates run statistics.
+	Metrics *Metrics
+	// Retries is how many times a panicking job is re-executed before its
+	// error is reported (< 0 disables retry; 0 selects the default of 1).
+	Retries int
+	// Progress, when non-nil, is called after every finished job. Calls
+	// are serialized; completion order is nondeterministic.
+	Progress func(JobResult)
+
+	mu sync.Mutex // serializes Progress and Metrics updates
+}
+
+func (r *Runner) workers(jobs int) int {
+	n := r.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (r *Runner) retries() int {
+	switch {
+	case r.Retries < 0:
+		return 0
+	case r.Retries == 0:
+		return 1
+	default:
+		return r.Retries
+	}
+}
+
+// RunBatch executes the jobs and returns their results in submission order,
+// independent of completion order. Worker scheduling cannot perturb the
+// output: each result is a deterministic function of its job alone.
+//
+// A crashed (panicking) simulation is retried and, if it crashes again,
+// reported as that job's Err without disturbing the rest of the batch. The
+// returned error is only non-nil when ctx is cancelled or times out, in
+// which case unstarted jobs carry ctx's error.
+func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Metrics != nil {
+		r.Metrics.batchQueued(len(jobs))
+	}
+	out := make([]JobResult, len(jobs))
+	started := make([]bool, len(jobs))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = r.runJob(ctx, jobs[i])
+				r.finish(out[i])
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+			started[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if !started[i] {
+				out[i] = JobResult{Job: jobs[i], Err: fmt.Errorf("job %s: %w", jobs[i].Label(), err)}
+				r.finish(out[i])
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// runJob resolves one job: cache lookup, then execution with panic
+// isolation and retry.
+func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
+	jr := JobResult{Job: j}
+	if r.Cache != nil {
+		if res, ok := r.Cache.Get(j); ok {
+			jr.Result, jr.Cached = res, true
+			return jr
+		}
+	}
+	start := time.Now()
+	maxAttempts := 1 + r.retries()
+	for jr.Attempts = 1; ; jr.Attempts++ {
+		res, err := runIsolated(j)
+		if err == nil {
+			jr.Result, jr.Err = res, nil
+			if r.Cache != nil {
+				// Best-effort: a full disk must not fail the sweep.
+				_ = r.Cache.Put(j, res)
+			}
+			break
+		}
+		jr.Err = err
+		if jr.Attempts >= maxAttempts || ctx.Err() != nil {
+			break
+		}
+	}
+	jr.Wall = time.Since(start)
+	return jr
+}
+
+// runIsolated executes one simulation, converting a panic into an error so
+// a crashed run cannot take down the whole regeneration.
+func runIsolated(j Job) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
+		}
+	}()
+	return j.Execute(), nil
+}
+
+// finish serializes the per-job callbacks.
+func (r *Runner) finish(jr JobResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Metrics != nil {
+		r.Metrics.observe(jr)
+	}
+	if r.Progress != nil {
+		r.Progress(jr)
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// testBatch builds a mixed batch: one sequential baseline plus several
+// scheme runs over two seeds.
+func testBatch() []Job {
+	prof := tinyProfile()
+	cfg := machine.CMP8()
+	jobs := []Job{{Machine: cfg, Profile: prof, Seed: 1, Sequential: true}}
+	for _, sch := range []core.Scheme{core.SingleTEager, core.MultiTSVLazy, core.MultiTMVLazy} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			jobs = append(jobs, Job{Machine: cfg, Scheme: sch, Profile: prof, Seed: seed})
+		}
+	}
+	return jobs
+}
+
+func TestRunBatchDeterministicOrdering(t *testing.T) {
+	jobs := testBatch()
+	serial, err := (&Runner{Workers: 1}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 4}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Job.Key() != jobs[i].Key() || parallel[i].Job.Key() != jobs[i].Key() {
+			t.Fatalf("job %d: result order does not match submission order", i)
+		}
+		if serial[i].Result.ExecCycles != parallel[i].Result.ExecCycles {
+			t.Fatalf("job %d: serial %d cycles vs parallel %d cycles",
+				i, serial[i].Result.ExecCycles, parallel[i].Result.ExecCycles)
+		}
+	}
+}
+
+func TestPanicIsolationAndRetry(t *testing.T) {
+	jobs := testBatch()[:3]
+	jobs[1].Machine = nil // a nil machine crashes the simulator
+	m := &Metrics{}
+	results, err := (&Runner{Workers: 2, Metrics: m}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("a crashed job must not fail the batch: %v", err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("crashed job reported no error")
+	}
+	if !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Fatalf("error does not describe the panic: %v", results[1].Err)
+	}
+	if results[1].Attempts != 2 {
+		t.Fatalf("crashed job attempted %d times, want 2 (one retry)", results[1].Attempts)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Result.ExecCycles == 0 {
+			t.Fatalf("healthy job %d disturbed by the crash: %+v", i, results[i].Err)
+		}
+	}
+	s := m.Snapshot()
+	if s.Errors != 1 || s.Executed != 2 || s.Retries != 1 {
+		t.Fatalf("metrics wrong after crash: %+v", s)
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	jobs := []Job{{Machine: nil, Profile: tinyProfile(), Seed: 1}}
+	results, _ := (&Runner{Workers: 1, Retries: -1}).RunBatch(context.Background(), jobs)
+	if results[0].Attempts != 1 {
+		t.Fatalf("Retries=-1 still attempted %d times", results[0].Attempts)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := testBatch()
+	results, err := (&Runner{Workers: 2}).RunBatch(ctx, jobs)
+	if err == nil {
+		t.Fatal("cancelled batch must return the context error")
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("results length %d, want %d", len(results), len(jobs))
+	}
+	cancelled := 0
+	for _, jr := range results {
+		if jr.Err != nil {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job carries the cancellation error")
+	}
+}
+
+func TestProgressSerializedAndComplete(t *testing.T) {
+	jobs := testBatch()
+	calls := 0
+	r := &Runner{Workers: 4, Progress: func(jr JobResult) { calls++ }}
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(jobs) {
+		t.Fatalf("progress called %d times, want %d", calls, len(jobs))
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	results, err := new(Runner).RunBatch(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(results))
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/machine"
+)
+
+// renderFig9Equivalent regenerates the Figure 9 artifact exactly as
+// cmd/tlsreport does — grid, averages, claim checks, summary — and returns
+// the full report text.
+func renderFig9Equivalent(t *testing.T, opt Options) string {
+	t.Helper()
+	g := RunGrid(machine.CMP8(), Figure9Schemes(), opt)
+	if len(g.Errors) > 0 {
+		t.Fatalf("grid errors: %v", g.Errors)
+	}
+	var buf bytes.Buffer
+	RenderGrid(&buf, g, "Figure 9 (determinism golden)")
+	RenderAverages(&buf, g)
+	RenderChecks(&buf, CheckFigure9Claims(g))
+	RenderSummary(&buf, Summarize(g), 32, 30, 24)
+	return buf.String()
+}
+
+// TestGoldenParallelMatchesSerial is the orchestrator's core guarantee: a
+// 4-worker run produces report text byte-identical to a 1-worker run.
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	apps := fastApps()[:2]
+	serial := renderFig9Equivalent(t, Options{Apps: apps, Seed: 21, Jobs: 1})
+	parallel := renderFig9Equivalent(t, Options{Apps: apps, Seed: 21, Jobs: 4})
+	if serial != parallel {
+		t.Fatalf("parallel report text differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestGoldenWarmCacheRerun asserts that a warm-cache rerun executes zero
+// simulations and still produces byte-identical report text.
+func TestGoldenWarmCacheRerun(t *testing.T) {
+	dir := t.TempDir()
+	apps := fastApps()[:2]
+
+	cold := &exp.Metrics{}
+	first := renderFig9Equivalent(t, Options{Apps: apps, Seed: 22, Jobs: 4, CacheDir: dir, Metrics: cold})
+	cs := cold.Snapshot()
+	if cs.Executed == 0 || cs.CacheHits != 0 || cs.Errors != 0 {
+		t.Fatalf("cold run metrics: %+v", cs)
+	}
+
+	warm := &exp.Metrics{}
+	second := renderFig9Equivalent(t, Options{Apps: apps, Seed: 22, Jobs: 4, CacheDir: dir, Metrics: warm})
+	ws := warm.Snapshot()
+	if ws.Executed != 0 {
+		t.Fatalf("warm rerun executed %d simulations, want 0 (snapshot %+v)", ws.Executed, ws)
+	}
+	if ws.CacheHits != ws.Total || ws.Total == 0 {
+		t.Fatalf("warm rerun: %d/%d cache hits", ws.CacheHits, ws.Total)
+	}
+	if first != second {
+		t.Fatal("warm-cache report text differs from cold run")
+	}
+}

@@ -6,31 +6,69 @@
 package report
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// Options parameterizes an experiment sweep.
+// Options parameterizes an experiment sweep. All sweeps execute through the
+// internal/exp orchestrator: the runs become canonical Jobs on a worker
+// pool, optionally memoized by a persistent cache and observed by a
+// metrics layer.
 type Options struct {
 	// Seed for the deterministic workload generators.
 	Seed uint64
 	// Apps to run; nil selects the full standard suite.
 	Apps []workload.Profile
-	// Progress, if non-nil, is called after every completed run (from the
-	// goroutine that ran it; calls are serialized).
+	// Progress, if non-nil, is called after every completed speculative run
+	// (from the goroutine that ran it; calls are serialized).
 	Progress func(machine, app string, scheme core.Scheme, r sim.Result)
 	// Serial disables the default run-level parallelism. Results are
 	// identical either way — each simulation is an isolated deterministic
 	// function of its inputs — so Serial only matters for debugging.
 	Serial bool
+	// Jobs overrides the worker-pool size (0 selects GOMAXPROCS; ignored
+	// when Serial is set).
+	Jobs int
+	// CacheDir, when non-empty, enables exp's persistent result cache
+	// rooted at that directory: a warm rerun only re-simulates jobs whose
+	// inputs (machine, profile, scheme, seed, knobs) changed.
+	CacheDir string
+	// Metrics, when non-nil, accumulates orchestration metrics (job
+	// counts, cache hits, wall times, simulated-cycle throughput) across
+	// every sweep run with these options.
+	Metrics *exp.Metrics
+}
+
+// runner builds the exp worker pool these options describe.
+func (o *Options) runner() *exp.Runner {
+	workers := o.Jobs
+	if o.Serial {
+		workers = 1
+	}
+	r := &exp.Runner{Workers: workers, Metrics: o.Metrics}
+	if o.CacheDir != "" {
+		if c, err := exp.NewCache(o.CacheDir); err == nil {
+			r.Cache = c
+		}
+	}
+	if o.Progress != nil {
+		p := o.Progress
+		r.Progress = func(jr exp.JobResult) {
+			if jr.Err != nil || jr.Job.Sequential {
+				return
+			}
+			p(jr.Job.Machine.Name, jr.Job.Profile.Name, jr.Job.Scheme, jr.Result)
+		}
+	}
+	return r
 }
 
 func (o *Options) apps() []workload.Profile {
@@ -72,6 +110,10 @@ type Grid struct {
 	Apps    []string
 	Schemes []core.Scheme
 	Cells   map[string]map[string]Cell // app -> scheme.String() -> cell
+
+	// Errors records jobs that failed even after the orchestrator's panic
+	// retry; their cells are zero. A fully healthy sweep leaves it empty.
+	Errors []error
 }
 
 // Cell returns the measurement for (app, scheme).
@@ -80,9 +122,10 @@ func (g *Grid) Cell(app string, scheme core.Scheme) Cell {
 }
 
 // RunGrid sweeps apps × schemes on the machine, measuring one sequential
-// baseline per application. Runs execute in parallel (each simulation is an
-// isolated deterministic function of its inputs); the assembled grid is
-// identical to a serial sweep.
+// baseline per application. The whole sweep is submitted as one job batch
+// to the exp orchestrator; because each simulation is an isolated
+// deterministic function of its inputs, the assembled grid is identical to
+// a serial sweep regardless of worker count or cache state.
 func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 	apps := opt.apps()
 	g := &Grid{
@@ -90,53 +133,36 @@ func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 		Schemes: schemes,
 		Cells:   make(map[string]map[string]Cell),
 	}
+	jobs := make([]exp.Job, 0, len(apps)*(len(schemes)+1))
 	for _, prof := range apps {
 		g.Apps = append(g.Apps, prof.Name)
 		g.Cells[prof.Name] = make(map[string]Cell, len(schemes))
+		jobs = append(jobs, exp.Job{Machine: cfg, Profile: prof, Seed: opt.seed(), Sequential: true})
 	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if opt.Serial || workers < 2 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	run := func(fn func()) {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			fn()
-		}()
-	}
-
-	// Phase 1: the per-application sequential baselines.
-	seqs := make([]event.Time, len(apps))
-	for i, prof := range apps {
-		i, prof := i, prof
-		run(func() { seqs[i] = sim.RunSequential(cfg, prof, opt.seed()).ExecCycles })
-	}
-	wg.Wait()
-
-	// Phase 2: every (application, scheme) run.
-	for i, prof := range apps {
-		seq := seqs[i]
+	for _, prof := range apps {
 		for _, sch := range schemes {
-			prof, sch := prof, sch
-			run(func() {
-				r := sim.Run(cfg, sch, prof, opt.seed())
-				mu.Lock()
-				g.Cells[prof.Name][sch.String()] = Cell{Result: r, Seq: seq}
-				if opt.Progress != nil {
-					opt.Progress(cfg.Name, prof.Name, sch, r)
-				}
-				mu.Unlock()
-			})
+			jobs = append(jobs, exp.Job{Machine: cfg, Scheme: sch, Profile: prof, Seed: opt.seed()})
 		}
 	}
-	wg.Wait()
+	results, _ := opt.runner().RunBatch(context.Background(), jobs)
+
+	// The first len(apps) results are the sequential baselines.
+	seqs := make(map[string]event.Time, len(apps))
+	for _, jr := range results[:len(apps)] {
+		if jr.Err != nil {
+			g.Errors = append(g.Errors, jr.Err)
+			continue
+		}
+		seqs[jr.Job.Profile.Name] = jr.Result.ExecCycles
+	}
+	for _, jr := range results[len(apps):] {
+		if jr.Err != nil {
+			g.Errors = append(g.Errors, jr.Err)
+			continue
+		}
+		g.Cells[jr.Job.Profile.Name][jr.Job.Scheme.String()] =
+			Cell{Result: jr.Result, Seq: seqs[jr.Job.Profile.Name]}
+	}
 	return g
 }
 
@@ -175,9 +201,20 @@ func Figure10(opt Options) (*Grid, Cell) {
 		if prof.Name != "P3m" {
 			continue
 		}
-		seq := sim.RunSequential(machine.NUMA16(), prof, opt.seed())
-		r := sim.Run(machine.NUMA16BigL2(), core.MultiTMVLazy, prof, opt.seed())
-		lazyL2 = Cell{Result: r, Seq: seq.ExecCycles}
+		jobs := []exp.Job{
+			{Machine: machine.NUMA16(), Profile: prof, Seed: opt.seed(), Sequential: true},
+			{Machine: machine.NUMA16BigL2(), Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()},
+		}
+		results, _ := opt.runner().RunBatch(context.Background(), jobs)
+		if results[0].Err != nil || results[1].Err != nil {
+			for _, jr := range results {
+				if jr.Err != nil {
+					g.Errors = append(g.Errors, jr.Err)
+				}
+			}
+			continue
+		}
+		lazyL2 = Cell{Result: results[1].Result, Seq: results[0].Result.ExecCycles}
 	}
 	return g, lazyL2
 }
@@ -204,45 +241,33 @@ type AppCharacterization struct {
 
 // Characterize measures every application on both machines under
 // MultiT&MV Eager (the configuration Table 3's ratios are defined for).
-// Applications are measured in parallel.
+// The three runs per application are submitted as one orchestrator batch.
 func Characterize(opt Options) []AppCharacterization {
 	apps := opt.apps()
+	numa16, cmp8 := machine.NUMA16(), machine.CMP8()
+	jobs := make([]exp.Job, 0, 3*len(apps))
+	for _, prof := range apps {
+		jobs = append(jobs,
+			exp.Job{Machine: numa16, Scheme: core.MultiTMVEager, Profile: prof, Seed: opt.seed()},
+			exp.Job{Machine: cmp8, Scheme: core.MultiTMVEager, Profile: prof, Seed: opt.seed()},
+			exp.Job{Machine: numa16, Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()})
+	}
+	results, _ := opt.runner().RunBatch(context.Background(), jobs)
+
 	out := make([]AppCharacterization, len(apps))
-	workers := runtime.GOMAXPROCS(0)
-	if opt.Serial || workers < 2 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
 	for i, prof := range apps {
-		i, prof := i, prof
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			numa := sim.Run(machine.NUMA16(), core.MultiTMVEager, prof, opt.seed())
-			cmp := sim.Run(machine.CMP8(), core.MultiTMVEager, prof, opt.seed())
-			lazy := sim.Run(machine.NUMA16(), core.MultiTMVLazy, prof, opt.seed())
-			out[i] = AppCharacterization{
-				Profile:          prof,
-				SpecTasksSystem:  numa.AvgSpecTasksSystem,
-				SpecTasksPerProc: numa.AvgSpecTasksPerProc,
-				FootprintKB:      numa.AvgFootprintBytes / 1024,
-				PrivPct:          100 * numa.AvgPrivFrac,
-				CENuma:           numa.CommitExecRatio(),
-				CECmp:            cmp.CommitExecRatio(),
-				SquashRate:       float64(lazy.SquashEvents) / float64(lazy.Commits),
-			}
-			if opt.Progress != nil {
-				mu.Lock()
-				opt.Progress("characterize", prof.Name, core.MultiTMVEager, numa)
-				mu.Unlock()
-			}
-		}()
+		numa, cmp, lazy := results[3*i].Result, results[3*i+1].Result, results[3*i+2].Result
+		out[i] = AppCharacterization{
+			Profile:          prof,
+			SpecTasksSystem:  numa.AvgSpecTasksSystem,
+			SpecTasksPerProc: numa.AvgSpecTasksPerProc,
+			FootprintKB:      numa.AvgFootprintBytes / 1024,
+			PrivPct:          100 * numa.AvgPrivFrac,
+			CENuma:           numa.CommitExecRatio(),
+			CECmp:            cmp.CommitExecRatio(),
+			SquashRate:       float64(lazy.SquashEvents) / float64(lazy.Commits),
+		}
 	}
-	wg.Wait()
 	return out
 }
 

@@ -148,3 +148,43 @@ func (m *Mean) Value() float64 {
 
 // Count returns the number of samples.
 func (m *Mean) Count() int { return m.n }
+
+// Tally accumulates count, sum, min and max of a float64 quantity — the
+// experiment orchestrator uses it for per-job wall times.
+type Tally struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Observe adds a sample.
+func (t *Tally) Observe(v float64) {
+	if t.n == 0 || v < t.min {
+		t.min = v
+	}
+	if t.n == 0 || v > t.max {
+		t.max = v
+	}
+	t.n++
+	t.sum += v
+}
+
+// Count returns the number of samples.
+func (t *Tally) Count() int { return t.n }
+
+// Sum returns the sample sum.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest sample (0 when empty).
+func (t *Tally) Max() float64 { return t.max }

@@ -118,3 +118,26 @@ func TestSamplerClampsBackwardTime(t *testing.T) {
 		t.Fatalf("Mean = %v, want 4.5", got)
 	}
 }
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	if tl.Count() != 0 || tl.Mean() != 0 || tl.Min() != 0 || tl.Max() != 0 {
+		t.Fatal("empty tally must report zeros")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		tl.Observe(v)
+	}
+	if tl.Count() != 3 || tl.Sum() != 6 {
+		t.Fatalf("count/sum wrong: %d/%f", tl.Count(), tl.Sum())
+	}
+	if tl.Mean() != 2 || tl.Min() != 1 || tl.Max() != 3 {
+		t.Fatalf("mean/min/max wrong: %f/%f/%f", tl.Mean(), tl.Min(), tl.Max())
+	}
+	// A negative-only stream must not report a zero max.
+	var neg Tally
+	neg.Observe(-5)
+	neg.Observe(-2)
+	if neg.Max() != -2 || neg.Min() != -5 {
+		t.Fatalf("negative stream: min %f max %f", neg.Min(), neg.Max())
+	}
+}

@@ -35,9 +35,11 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/report"
@@ -207,6 +209,40 @@ func NewSimulator(cfg *Machine, scheme Scheme, prof Profile, seed uint64) *Simul
 // explicit Trace.
 func NewSimulatorFor(cfg *Machine, scheme Scheme, w Workload) *Simulator {
 	return sim.New(cfg, scheme, w)
+}
+
+// Orchestration (the internal/exp subsystem). Every experiment harness
+// below executes through it; these aliases let callers build their own
+// batches with the same machinery.
+type (
+	// Job is the canonical, hashable description of one simulation:
+	// (machine, scheme, application profile, seed, ablation knobs).
+	Job = exp.Job
+	// JobResult pairs a Job with its outcome.
+	JobResult = exp.JobResult
+	// Ablation bundles the simulator's ablation knobs for Jobs.
+	Ablation = exp.Ablation
+	// Runner executes Job batches on a worker pool with panic isolation,
+	// optional persistent caching, and run metrics.
+	Runner = exp.Runner
+	// RunMetrics accumulates orchestration metrics across batches.
+	RunMetrics = exp.Metrics
+	// MetricsSnapshot is a point-in-time view of RunMetrics.
+	MetricsSnapshot = exp.Snapshot
+	// ResultCache is the persistent on-disk result cache.
+	ResultCache = exp.Cache
+)
+
+// NewResultCache opens (creating if necessary) a persistent result cache
+// rooted at dir. Entries are keyed by job content hash plus the module
+// version, so a warm rerun only re-simulates what changed.
+func NewResultCache(dir string) (*ResultCache, error) { return exp.NewCache(dir) }
+
+// RunBatch executes jobs on a default Runner (GOMAXPROCS workers, one panic
+// retry, no cache). Results are returned in submission order; they are
+// byte-identical to running each job serially.
+func RunBatch(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	return new(Runner).RunBatch(ctx, jobs)
 }
 
 // Experiments (the tables and figures of the evaluation).

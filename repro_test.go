@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro"
@@ -95,5 +96,62 @@ func TestPublicGridAndSummary(t *testing.T) {
 	chars := repro.Characterize(repro.Options{Apps: apps, Seed: 4})
 	if len(chars) != 1 || chars[0].FootprintKB <= 0 {
 		t.Fatal("characterization wrong")
+	}
+}
+
+func TestPublicBatchOrchestration(t *testing.T) {
+	prof := repro.Tree().Scale(0.05, 0.05, 0.25)
+	cfg := repro.CMP8()
+	jobs := []repro.Job{
+		{Machine: cfg, Profile: prof, Seed: 1, Sequential: true},
+		{Machine: cfg, Scheme: repro.MultiTMVLazy, Profile: prof, Seed: 1},
+	}
+	results, err := repro.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("batch failed: %+v", results)
+	}
+	// Batch results must equal the single-run facade exactly.
+	direct := repro.Run(cfg, repro.MultiTMVLazy, prof, 1)
+	if results[1].Result.ExecCycles != direct.ExecCycles {
+		t.Fatalf("batch %d cycles vs direct %d cycles",
+			results[1].Result.ExecCycles, direct.ExecCycles)
+	}
+	seq := repro.RunSequential(cfg, prof, 1)
+	if results[0].Result.ExecCycles != seq.ExecCycles {
+		t.Fatal("sequential batch job differs from RunSequential")
+	}
+	if jobs[0].Key() == jobs[1].Key() || len(jobs[0].Key()) != 64 {
+		t.Fatal("job keys wrong")
+	}
+}
+
+func TestPublicCachedRunner(t *testing.T) {
+	cache, err := repro.NewResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := repro.Tree().Scale(0.05, 0.05, 0.25)
+	jobs := []repro.Job{{Machine: repro.CMP8(), Scheme: repro.SingleTEager, Profile: prof, Seed: 3}}
+	m := new(repro.RunMetrics)
+	r := &repro.Runner{Cache: cache, Metrics: m}
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm[0].Cached {
+		t.Fatal("second run must be a cache hit")
+	}
+	s := m.Snapshot()
+	if s.Executed != 1 || s.CacheHits != 1 || s.Total != 2 {
+		t.Fatalf("metrics: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty metrics line")
 	}
 }
