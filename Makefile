@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fmt vet race verify report
+.PHONY: build test fmt vet race chaos verify report
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ vet:
 # race exercises the packages the experiment orchestrator made concurrent.
 race:
 	$(GO) test -race ./internal/exp ./internal/report ./internal/sim
+
+# chaos is the bounded fault-injection campaign (~30s): recoverable faults
+# must be absorbed with zero invariant violations, and injected tag
+# corruption must be detected by the checker.
+chaos:
+	$(GO) run ./cmd/tlschaos -seeds 40
+	$(GO) run ./cmd/tlschaos -seeds 10 -faults flip-tag
 
 # verify is the CI gate: formatting, vet, build, full tests, race tests.
 verify: fmt vet build test race

@@ -1,0 +1,371 @@
+// tlschaos runs randomized fault-injection campaigns against the buffering
+// protocols: every case simulates a fuzzed workload under a seeded fault
+// plan (spurious squashes, delayed coherence messages, forced buffer
+// overflows, stalled commits) with the runtime invariant checker armed, and
+// verifies the protocol absorbed the faults — all tasks committed, zero
+// invariant violations, and a final memory image identical to sequential
+// execution.
+//
+// Every case is a pure function of (machine, scheme, campaign seed, fault
+// selection), so a failure is perfectly reproducible:
+//
+//	tlschaos -seeds 50                  # campaign: seeds 1..50 × schemes
+//	tlschaos -replay 17                 # re-run seed 17 verbosely
+//	tlschaos -faults flip-tag -seeds 10 # corruption drill: flips MUST be
+//	                                    # detected by the checker
+//
+// Failing cases are recorded as JSON (-record) with the exact seed, scheme
+// and fault mix, so a later `tlschaos -replay <seed>` reproduces the run —
+// same injected faults, same invariant report, same cycle count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chaosCase is one (seed, scheme) cell of the campaign grid.
+type chaosCase struct {
+	Seed   uint64
+	Scheme core.Scheme
+}
+
+// outcome is the verdict of one executed case.
+type outcome struct {
+	Case chaosCase
+
+	Cycles     uint64
+	Faults     string // plan.Summary()
+	FaultCount int
+
+	Violations  int
+	WrongLines  int
+	Uncommitted int
+	TimedOut    bool
+	PanicMsg    string
+
+	Samples []string // first few invariant violations, for the report
+}
+
+// failed reports whether the case breaks the campaign's promise. When flips
+// are armed the run corrupts state on purpose, so only crashes and hangs
+// count; detection is tallied separately.
+func (o outcome) failed(flips bool) bool {
+	if o.TimedOut || o.PanicMsg != "" {
+		return true
+	}
+	if flips {
+		return false
+	}
+	return o.Violations > 0 || o.WrongLines > 0 || o.Uncommitted > 0
+}
+
+// detected reports whether the checker (or final verification) caught the
+// run misbehaving — the success criterion of a flip-tag drill.
+func (o outcome) detected() bool { return o.Violations > 0 || o.WrongLines > 0 }
+
+// record is the JSON entry written for a failing case; its fields are the
+// exact -replay inputs plus the observed verdict.
+type record struct {
+	Seed        uint64
+	Machine     string
+	Scheme      string
+	Faults      string // the -faults selection
+	FaultConfig string
+	Injected    string
+	Cycles      uint64
+	Violations  int
+	WrongLines  int
+	Uncommitted int
+	TimedOut    bool
+	Panic       string `json:",omitempty"`
+	Samples     []string
+	Replay      string
+}
+
+func main() {
+	var (
+		seeds    = flag.Uint64("seeds", 50, "campaign seeds (1..N), each crossed with every scheme")
+		replay   = flag.Uint64("replay", 0, "re-run one campaign seed verbosely (0 = full campaign)")
+		schemesF = flag.String("schemes", "MultiT&MV Eager AMM;MultiT&MV Lazy AMM;MultiT&MV FMM",
+			"semicolon-separated schemes under test")
+		machineF = flag.String("machine", "numa16", "machine model: numa16 or cmp8")
+		faultsF  = flag.String("faults", "recoverable",
+			"comma-separated fault classes: recoverable, spurious-squash, delay-message, force-overflow, stall-commit, flip-tag")
+		timeout = flag.Duration("case-timeout", 20*time.Second, "per-case watchdog deadline")
+		jobs    = flag.Int("jobs", 0, "parallel cases (0 = GOMAXPROCS)")
+		recordF = flag.String("record", "tlschaos-failures.json", "write failing cases as JSON here (\"\" disables)")
+	)
+	flag.Parse()
+
+	cfg, ok := machineByName(*machineF)
+	if !ok {
+		fatalf("unknown machine %q (numa16 or cmp8)", *machineF)
+	}
+	var schemes []core.Scheme
+	for _, name := range strings.Split(*schemesF, ";") {
+		s, ok := core.SchemeFromString(strings.TrimSpace(name))
+		if !ok {
+			fatalf("unknown scheme %q", name)
+		}
+		schemes = append(schemes, s)
+	}
+	selection, flips, err := parseFaults(*faultsF)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var cases []chaosCase
+	lo, hi := uint64(1), *seeds
+	if *replay != 0 {
+		lo, hi = *replay, *replay
+	}
+	for seed := lo; seed <= hi; seed++ {
+		for _, sch := range schemes {
+			cases = append(cases, chaosCase{Seed: seed, Scheme: sch})
+		}
+	}
+
+	outcomes := runAll(cases, cfg, selection, flips, *timeout, *jobs)
+
+	var failures []record
+	faults, detections := 0, 0
+	for _, o := range outcomes {
+		faults += o.FaultCount
+		if o.detected() {
+			detections++
+		}
+		if *replay != 0 {
+			printVerbose(o)
+		}
+		if o.failed(flips) {
+			failures = append(failures, toRecord(o, cfg.Name, *machineF, *faultsF, selection))
+			fmt.Fprintf(os.Stderr, "tlschaos: FAIL seed %d %v: %s\n",
+				o.Case.Seed, o.Case.Scheme, verdict(o))
+		}
+	}
+
+	fmt.Printf("tlschaos: %d cases (%d seeds x %d schemes) on %s, faults=%s\n",
+		len(cases), int(hi-lo+1), len(schemes), cfg.Name, *faultsF)
+	fmt.Printf("  injected %d faults, %d failing cases", faults, len(failures))
+	if flips {
+		fmt.Printf(", %d corruption(s) detected by the checker", detections)
+	}
+	fmt.Println()
+
+	if flips && detections == 0 && faults > 0 {
+		// A corruption drill that injects flips nobody notices means the
+		// checker is broken — that IS the failure.
+		fmt.Fprintln(os.Stderr, "tlschaos: flip-tag campaign injected faults but detected no corruption")
+		os.Exit(1)
+	}
+	if len(failures) > 0 {
+		if *recordF != "" {
+			if err := writeRecords(*recordF, failures); err != nil {
+				fmt.Fprintf(os.Stderr, "tlschaos: recording failures: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "tlschaos: wrote %d failing case(s) to %s\n", len(failures), *recordF)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// planFor derives the case's fault config: the seed's randomized campaign
+// mix, masked down to the selected classes. Flip-tag, when selected, runs at
+// a fixed low rate with a small budget — enough corruption to exercise the
+// checker without destroying every run.
+func planFor(seed uint64, selection map[fault.Kind]bool) fault.Config {
+	c := fault.CampaignConfig(seed)
+	if !selection[fault.SpuriousSquash] {
+		c.SquashProb = 0
+	}
+	if !selection[fault.DelayMessage] {
+		c.DelayProb = 0
+	}
+	if !selection[fault.ForceOverflow] {
+		c.OverflowProb = 0
+	}
+	if !selection[fault.StallCommit] {
+		c.StallProb = 0
+	}
+	if selection[fault.FlipTag] {
+		c.FlipProb = 0.01
+		c.MaxFaults = 16
+	}
+	return c
+}
+
+// runCase executes one case under the watchdog. The simulation goroutine is
+// abandoned on timeout (a deterministic hang cannot be preempted).
+func runCase(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool, deadline time.Duration) outcome {
+	o := outcome{Case: c}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{Case: c, PanicMsg: fmt.Sprint(p)}
+			}
+		}()
+		// The workload is fuzzed per seed — same stream the chaos test
+		// suite draws from — so the campaign covers the whole profile
+		// space, not just the paper's applications.
+		prof := workload.FuzzProfile(rng.New(c.Seed ^ 0xc4a05bedb1a5e5))
+		gen := workload.NewGenerator(prof, c.Seed)
+		s := sim.New(cfg, c.Scheme, gen)
+		s.EnableInvariantChecks()
+		plan := fault.NewPlan(planFor(c.Seed, selection))
+		s.InjectFaults(plan)
+		res := s.Run()
+
+		r := outcome{Case: c,
+			Cycles: uint64(res.ExecCycles), Faults: plan.Summary(), FaultCount: plan.Total(),
+			Violations: s.InvariantViolationCount(), Uncommitted: res.Tasks - res.Commits,
+		}
+		_, r.WrongLines = s.VerifyFinalMemory()
+		for i, v := range s.InvariantViolations() {
+			if i == 5 {
+				break
+			}
+			r.Samples = append(r.Samples, v.String())
+		}
+		done <- r
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r
+	case <-timer.C:
+		o.TimedOut = true
+		return o
+	}
+}
+
+// runAll fans the cases over a worker pool; outcomes return in case order.
+func runAll(cases []chaosCase, cfg *machine.Config, selection map[fault.Kind]bool,
+	flips bool, deadline time.Duration, workers int) []outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	out := make([]outcome, len(cases))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runCase(cases[i], cfg, selection, deadline)
+			}
+		}()
+	}
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// parseFaults resolves the -faults selection; "recoverable" expands to every
+// class except flip-tag (which must be named explicitly: it injects
+// corruption the protocol cannot survive, only detect).
+func parseFaults(spec string) (map[fault.Kind]bool, bool, error) {
+	sel := make(map[fault.Kind]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if strings.EqualFold(name, "recoverable") {
+			sel[fault.SpuriousSquash] = true
+			sel[fault.DelayMessage] = true
+			sel[fault.ForceOverflow] = true
+			sel[fault.StallCommit] = true
+			continue
+		}
+		k, ok := fault.KindFromString(name)
+		if !ok {
+			return nil, false, fmt.Errorf("unknown fault class %q", name)
+		}
+		sel[k] = true
+	}
+	return sel, sel[fault.FlipTag], nil
+}
+
+func machineByName(name string) (*machine.Config, bool) {
+	switch strings.ToLower(name) {
+	case "numa16":
+		return machine.NUMA16(), true
+	case "cmp8":
+		return machine.CMP8(), true
+	}
+	return nil, false
+}
+
+func verdict(o outcome) string {
+	switch {
+	case o.TimedOut:
+		return "watchdog deadline exceeded"
+	case o.PanicMsg != "":
+		return "panic: " + o.PanicMsg
+	default:
+		return fmt.Sprintf("%d invariant violations, %d wrong lines, %d uncommitted tasks (faults: %s)",
+			o.Violations, o.WrongLines, o.Uncommitted, o.Faults)
+	}
+}
+
+// printVerbose renders one case of a -replay run: every field that must
+// reproduce identically across re-runs.
+func printVerbose(o outcome) {
+	fmt.Printf("seed %d %v:\n", o.Case.Seed, o.Case.Scheme)
+	if o.TimedOut || o.PanicMsg != "" {
+		fmt.Printf("  %s\n", verdict(o))
+		return
+	}
+	fmt.Printf("  cycles %d, faults injected: %s\n", o.Cycles, o.Faults)
+	fmt.Printf("  violations %d, wrong lines %d, uncommitted %d\n",
+		o.Violations, o.WrongLines, o.Uncommitted)
+	for _, s := range o.Samples {
+		fmt.Printf("    %s\n", s)
+	}
+}
+
+func toRecord(o outcome, mach, machFlag, faultsFlag string, selection map[fault.Kind]bool) record {
+	return record{
+		Seed: o.Case.Seed, Machine: mach, Scheme: o.Case.Scheme.String(),
+		Faults: faultsFlag, FaultConfig: planFor(o.Case.Seed, selection).String(),
+		Injected: o.Faults, Cycles: o.Cycles,
+		Violations: o.Violations, WrongLines: o.WrongLines, Uncommitted: o.Uncommitted,
+		TimedOut: o.TimedOut, Panic: o.PanicMsg, Samples: o.Samples,
+		Replay: fmt.Sprintf("tlschaos -replay %d -machine %s -faults %s -schemes %q",
+			o.Case.Seed, machFlag, faultsFlag, o.Case.Scheme),
+	}
+}
+
+func writeRecords(path string, rs []record) error {
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
+	os.Exit(2)
+}

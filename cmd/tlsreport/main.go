@@ -42,6 +42,7 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		cache   = flag.String("cache", "", "persistent result-cache directory (warm reruns skip unchanged simulations)")
 		metrics = flag.Bool("metrics", false, "print an orchestration summary line to stderr at exit")
+		timeout = flag.Duration("timeout", 0, "per-job watchdog deadline (0 disables; hung jobs land in the failure manifest)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := repro.Options{Seed: *seed, Jobs: *jobs, CacheDir: *cache}
+	opt := repro.Options{Seed: *seed, Jobs: *jobs, CacheDir: *cache, JobTimeout: *timeout}
 	if *cache != "" {
 		// Fail fast on an unusable cache directory rather than silently
 		// running uncached.
@@ -87,12 +88,13 @@ func main() {
 	w := os.Stdout
 	want := func(name string) bool { return *only == "" || *only == name }
 
-	// Job failures (simulations that crashed even after the orchestrator's
-	// retry) are collected and reported at exit instead of killing the
-	// whole regeneration.
-	var jobErrs []error
+	// Job failures (simulations that crashed, hung past the watchdog
+	// deadline, or were quarantined) are collected into one manifest and
+	// reported at exit instead of killing the whole regeneration: the
+	// sweep degrades to partial results.
+	var failures []repro.JobFailure
 	collect := func(g *repro.Grid) *repro.Grid {
-		jobErrs = append(jobErrs, g.Errors...)
+		failures = append(failures, g.Failures...)
 		return g
 	}
 
@@ -185,10 +187,8 @@ func main() {
 	if opt.Metrics != nil {
 		fmt.Fprintln(os.Stderr, "tlsreport "+opt.Metrics.Snapshot().String())
 	}
-	if len(jobErrs) > 0 {
-		for _, err := range jobErrs {
-			fmt.Fprintf(os.Stderr, "tlsreport: job failed: %v\n", err)
-		}
+	if len(failures) > 0 {
+		fmt.Fprint(os.Stderr, "tlsreport: "+repro.RenderFailureManifest(failures))
 		os.Exit(1)
 	}
 }

@@ -47,6 +47,14 @@ type Directory struct {
 	violations uint64
 	reads      uint64
 	writes     uint64
+
+	// spurious, when non-nil, is the fault-injection hook consulted by a
+	// conflict-free RecordWrite: given the word's uncommitted readers ordered
+	// after the writer (ascending), it may name one to squash as if an
+	// out-of-order RAW had been detected. Injected conflicts are counted
+	// apart from genuine violations.
+	spurious func(readers []ids.TaskID) ids.TaskID
+	injected uint64
 }
 
 // NewDirectory returns an empty directory.
@@ -138,9 +146,38 @@ func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
 	}
 	if victim != ids.None {
 		d.violations++
+	} else if d.spurious != nil {
+		if v := d.spurious(laterReaders(w, writer)); v != ids.None {
+			victim = v
+			d.injected++
+		}
 	}
 	return victim
 }
+
+// laterReaders returns the readers of w ordered after writer, ascending.
+// Map iteration order is randomized, so the slice is sorted to keep fault
+// injection deterministic.
+func laterReaders(w *wordState, writer ids.TaskID) []ids.TaskID {
+	var out []ids.TaskID
+	for r := range w.readers {
+		if r.After(writer) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// SetSpuriousConflict installs the fault-injection hook consulted on every
+// conflict-free write; nil (the default) disables injection.
+func (d *Directory) SetSpuriousConflict(h func(readers []ids.TaskID) ids.TaskID) {
+	d.spurious = h
+}
+
+// InjectedConflicts returns how many squashes were injected rather than
+// detected; they are excluded from the violations statistic.
+func (d *Directory) InjectedConflicts() uint64 { return d.injected }
 
 // Squash removes every version produced and every read mark left by task t.
 // The simulator calls it for each squashed task before re-execution.

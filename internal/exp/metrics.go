@@ -13,16 +13,19 @@ import (
 // cycle throughput, and an ETA. The zero value is ready to use; all methods
 // are safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	total     int
-	done      int
-	hits      int
-	executed  int
-	errors    int
-	retries   int
-	wall      stats.Tally // per-executed-job wall time, seconds
-	simCycles uint64
+	mu          sync.Mutex
+	start       time.Time
+	total       int
+	done        int
+	hits        int
+	executed    int
+	errors      int
+	retries     int
+	timeouts    int
+	quarantined int
+	putErrors   int
+	wall        stats.Tally // per-executed-job wall time, seconds
+	simCycles   uint64
 }
 
 // batchQueued records that n more jobs have been submitted.
@@ -43,6 +46,12 @@ func (m *Metrics) observe(jr JobResult) {
 	switch {
 	case jr.Err != nil:
 		m.errors++
+		if jr.TimedOut {
+			m.timeouts++
+		}
+		if jr.Quarantined {
+			m.quarantined++
+		}
 	case jr.Cached:
 		m.hits++
 	default:
@@ -55,10 +64,24 @@ func (m *Metrics) observe(jr JobResult) {
 	}
 }
 
+// cachePutFailed records a cache write that could not be persisted (a full
+// disk or unwritable cache directory); the job's result is unaffected.
+func (m *Metrics) cachePutFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.putErrors++
+}
+
 // Snapshot is a point-in-time view of a Metrics.
 type Snapshot struct {
 	// Job counts: Done = CacheHits + Executed + Errors.
 	Total, Done, CacheHits, Executed, Errors, Retries int
+	// Timeouts and Quarantined break the errors down: watchdog-cancelled
+	// jobs and jobs skipped because an identical one failed permanently.
+	Timeouts, Quarantined int
+	// CachePutErrors counts results that could not be persisted to the
+	// cache (e.g. a full disk); the results themselves were still used.
+	CachePutErrors int
 	// Elapsed is the wall time since the first batch was queued.
 	Elapsed time.Duration
 	// JobWallMean and JobWallMax summarize per-executed-job wall times.
@@ -74,7 +97,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Total: m.total, Done: m.done, CacheHits: m.hits,
 		Executed: m.executed, Errors: m.errors, Retries: m.retries,
-		SimCycles: m.simCycles,
+		Timeouts: m.timeouts, Quarantined: m.quarantined,
+		CachePutErrors: m.putErrors,
+		SimCycles:      m.simCycles,
 	}
 	if !m.start.IsZero() {
 		s.Elapsed = time.Since(m.start)
@@ -112,6 +137,15 @@ func (s Snapshot) String() string {
 		s.Done, s.Total, s.CacheHits, s.Executed, s.Errors)
 	if s.Retries > 0 {
 		line += fmt.Sprintf(", %d retries", s.Retries)
+	}
+	if s.Timeouts > 0 {
+		line += fmt.Sprintf(", %d timeouts", s.Timeouts)
+	}
+	if s.Quarantined > 0 {
+		line += fmt.Sprintf(", %d quarantined", s.Quarantined)
+	}
+	if s.CachePutErrors > 0 {
+		line += fmt.Sprintf(", %d cache-put errors", s.CachePutErrors)
 	}
 	line += fmt.Sprintf("), %s simulated at %s/s, job wall mean %s max %s, elapsed %s",
 		siCycles(float64(s.SimCycles)), siCycles(s.CyclesPerSecond()),

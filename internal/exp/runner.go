@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -11,26 +12,48 @@ import (
 	"repro/internal/sim"
 )
 
+// ErrJobTimeout reports a simulation the watchdog cancelled because it
+// exceeded the runner's per-job deadline. Test with errors.Is.
+var ErrJobTimeout = errors.New("job deadline exceeded")
+
+// ErrJobQuarantined reports a job skipped because an identical job (same
+// content hash) already failed permanently earlier in the run. Test with
+// errors.Is; the underlying cause is wrapped alongside it.
+var ErrJobQuarantined = errors.New("job quarantined")
+
 // JobResult pairs a Job with its outcome.
 type JobResult struct {
 	Job Job
 	// Result is the simulation outcome (zero when Err is non-nil).
 	Result sim.Result
-	// Err reports a job that failed every attempt (a crashed simulation)
-	// or was cancelled before it started.
+	// Err reports a job that failed every attempt (a crashed or hung
+	// simulation), was quarantined, or was cancelled before it started.
 	Err error
 	// Cached reports that Result came from the persistent cache and no
 	// simulation executed.
 	Cached bool
+	// TimedOut reports that the watchdog cancelled the job's last attempt.
+	TimedOut bool
+	// Quarantined reports that the job was skipped without executing because
+	// an identical job already failed permanently in this run.
+	Quarantined bool
 	// Attempts is how many times the simulation ran (0 for cache hits and
-	// cancelled jobs; >1 when panic retries were needed).
+	// cancelled or quarantined jobs; >1 when retries were needed).
 	Attempts int
 	// Wall is the time spent executing (all attempts; 0 for cache hits).
 	Wall time.Duration
 }
 
 // Runner executes batches of Jobs on a worker pool. The zero value runs
-// with GOMAXPROCS workers, one panic retry, no cache and no metrics.
+// with GOMAXPROCS workers, one panic retry, no deadline, no cache and no
+// metrics.
+//
+// A Runner degrades gracefully: a crashed simulation is retried with
+// exponential backoff, a hung one is cancelled by the per-job watchdog, and
+// a job that failed permanently is quarantined so identical jobs in later
+// batches fail fast instead of hanging the sweep again. The batch always
+// completes with whatever results were obtainable; Failures assembles the
+// manifest of what was not.
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS, 1 runs serially.
 	Workers int
@@ -41,11 +64,26 @@ type Runner struct {
 	// Retries is how many times a panicking job is re-executed before its
 	// error is reported (< 0 disables retry; 0 selects the default of 1).
 	Retries int
+	// RetryBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at 8x. 0 retries immediately.
+	RetryBackoff time.Duration
+	// JobTimeout is the per-job watchdog deadline. A simulation still
+	// running when it expires is abandoned (Go cannot preempt it; the
+	// goroutine leaks until the process exits) and reported with
+	// ErrJobTimeout. 0 disables the watchdog.
+	JobTimeout time.Duration
 	// Progress, when non-nil, is called after every finished job. Calls
 	// are serialized; completion order is nondeterministic.
 	Progress func(JobResult)
 
+	// execOverride replaces Job.Execute in tests (e.g. with a function that
+	// hangs, to exercise the watchdog).
+	execOverride func(Job) sim.Result
+
 	mu sync.Mutex // serializes Progress and Metrics updates
+
+	qmu        sync.Mutex
+	quarantine map[string]error // job Key -> first permanent failure
 }
 
 func (r *Runner) workers(jobs int) int {
@@ -78,9 +116,10 @@ func (r *Runner) retries() int {
 // output: each result is a deterministic function of its job alone.
 //
 // A crashed (panicking) simulation is retried and, if it crashes again,
-// reported as that job's Err without disturbing the rest of the batch. The
-// returned error is only non-nil when ctx is cancelled or times out, in
-// which case unstarted jobs carry ctx's error.
+// reported as that job's Err without disturbing the rest of the batch; a
+// hung simulation is cancelled by the watchdog. The returned error is only
+// non-nil when ctx is cancelled or times out, in which case unstarted jobs
+// carry ctx's error.
 func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -127,10 +166,21 @@ feed:
 	return out, nil
 }
 
-// runJob resolves one job: cache lookup, then execution with panic
-// isolation and retry.
+// runJob resolves one job: cancellation and quarantine screens, cache
+// lookup, then execution under the watchdog with retry and backoff.
 func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	jr := JobResult{Job: j}
+	// A worker can dequeue a job in the same instant the context dies; the
+	// batch must then report the job cancelled, not run it anyway.
+	if err := ctx.Err(); err != nil {
+		jr.Err = fmt.Errorf("job %s: %w", j.Label(), err)
+		return jr
+	}
+	if cause := r.quarantinedCause(j); cause != nil {
+		jr.Quarantined = true
+		jr.Err = fmt.Errorf("job %s: %w: %w", j.Label(), ErrJobQuarantined, cause)
+		return jr
+	}
 	if r.Cache != nil {
 		if res, ok := r.Cache.Get(j); ok {
 			jr.Result, jr.Cached = res, true
@@ -140,17 +190,34 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	start := time.Now()
 	maxAttempts := 1 + r.retries()
 	for jr.Attempts = 1; ; jr.Attempts++ {
-		res, err := runIsolated(j)
+		res, err := r.attempt(ctx, j)
 		if err == nil {
-			jr.Result, jr.Err = res, nil
+			jr.Result, jr.Err, jr.TimedOut = res, nil, false
 			if r.Cache != nil {
-				// Best-effort: a full disk must not fail the sweep.
-				_ = r.Cache.Put(j, res)
+				if perr := r.Cache.Put(j, res); perr != nil && r.Metrics != nil {
+					// The sweep survives a failed write (the result is
+					// still in hand), but a full disk must be visible.
+					r.Metrics.cachePutFailed()
+				}
 			}
 			break
 		}
 		jr.Err = err
-		if jr.Attempts >= maxAttempts || ctx.Err() != nil {
+		if errors.Is(err, ErrJobTimeout) {
+			// A deterministic simulation that hung once will hang again:
+			// no retry, and identical jobs are quarantined.
+			jr.TimedOut = true
+			r.quarantineJob(j, err)
+			break
+		}
+		if ctx.Err() != nil {
+			break // cancelled mid-retry; not the job's fault, no quarantine
+		}
+		if jr.Attempts >= maxAttempts {
+			r.quarantineJob(j, err)
+			break
+		}
+		if !r.backoff(ctx, jr.Attempts) {
 			break
 		}
 	}
@@ -158,14 +225,99 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	return jr
 }
 
+// attempt executes one try of the job, under the watchdog when a deadline
+// is configured.
+func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
+	if r.JobTimeout <= 0 {
+		return runIsolated(j, r.execOverride)
+	}
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runIsolated(j, r.execOverride)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(r.JobTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		// The attempt goroutine is abandoned: a stuck simulation cannot be
+		// preempted, only disowned. The buffered channel lets it exit
+		// quietly if it ever finishes.
+		return sim.Result{}, fmt.Errorf("job %s: %w (deadline %s)", j.Label(), ErrJobTimeout, r.JobTimeout)
+	case <-ctx.Done():
+		return sim.Result{}, fmt.Errorf("job %s: %w", j.Label(), ctx.Err())
+	}
+}
+
+// backoff sleeps before retry number attempt (exponential, capped at 8x the
+// base), returning false if the context died while waiting.
+func (r *Runner) backoff(ctx context.Context, attempt int) bool {
+	if r.RetryBackoff <= 0 {
+		return true
+	}
+	d := r.RetryBackoff
+	for i := 1; i < attempt && d < 8*r.RetryBackoff; i++ {
+		d *= 2
+	}
+	if d > 8*r.RetryBackoff {
+		d = 8 * r.RetryBackoff
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// quarantinedCause returns the recorded failure of an identical job, or nil.
+func (r *Runner) quarantinedCause(j Job) error {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	if len(r.quarantine) == 0 {
+		return nil
+	}
+	return r.quarantine[j.Key()]
+}
+
+// quarantineJob records a permanent failure so identical jobs fail fast.
+func (r *Runner) quarantineJob(j Job, err error) {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	if r.quarantine == nil {
+		r.quarantine = make(map[string]error)
+	}
+	if _, ok := r.quarantine[j.Key()]; !ok {
+		r.quarantine[j.Key()] = err
+	}
+}
+
+// QuarantineSize returns how many distinct jobs have been quarantined.
+func (r *Runner) QuarantineSize() int {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	return len(r.quarantine)
+}
+
 // runIsolated executes one simulation, converting a panic into an error so
 // a crashed run cannot take down the whole regeneration.
-func runIsolated(j Job) (res sim.Result, err error) {
+func runIsolated(j Job, exec func(Job) sim.Result) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
 		}
 	}()
+	if exec != nil {
+		return exec(j), nil
+	}
 	return j.Execute(), nil
 }
 

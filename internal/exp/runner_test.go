@@ -2,11 +2,16 @@ package exp
 
 import (
 	"context"
+	"errors"
+	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // testBatch builds a mixed batch: one sequential baseline plus several
@@ -114,6 +119,172 @@ func TestProgressSerializedAndComplete(t *testing.T) {
 	}
 	if calls != len(jobs) {
 		t.Fatalf("progress called %d times, want %d", calls, len(jobs))
+	}
+}
+
+// hangOn returns an execOverride that blocks forever for jobs matching the
+// scheme and executes everything else normally.
+func hangOn(sch core.Scheme) func(Job) sim.Result {
+	return func(j Job) sim.Result {
+		if j.Scheme == sch && !j.Sequential {
+			select {} // a hung simulation: never returns
+		}
+		return j.Execute()
+	}
+}
+
+// TestWatchdogKillsHungJob is the robustness acceptance scenario: a
+// deliberately hung job is cancelled by the watchdog within its deadline and
+// quarantined, while the rest of the sweep completes and renders a failure
+// manifest.
+func TestWatchdogKillsHungJob(t *testing.T) {
+	const deadline = 100 * time.Millisecond
+	prof := tinyProfile()
+	cfg := machine.CMP8()
+	jobs := []Job{
+		{Machine: cfg, Scheme: core.SingleTEager, Profile: prof, Seed: 1},
+		{Machine: cfg, Scheme: core.MultiTMVLazy, Profile: prof, Seed: 1}, // hangs
+		{Machine: cfg, Scheme: core.MultiTSVLazy, Profile: prof, Seed: 1},
+	}
+	m := &Metrics{}
+	r := &Runner{Workers: 2, JobTimeout: deadline, Metrics: m,
+		execOverride: hangOn(core.MultiTMVLazy)}
+
+	start := time.Now()
+	results, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("a hung job must not fail the batch: %v", err)
+	}
+	hung := results[1]
+	if !errors.Is(hung.Err, ErrJobTimeout) {
+		t.Fatalf("hung job error is not ErrJobTimeout: %v", hung.Err)
+	}
+	if !hung.TimedOut || hung.Attempts != 1 {
+		t.Fatalf("hung job: TimedOut=%v Attempts=%d, want true/1", hung.TimedOut, hung.Attempts)
+	}
+	if hung.Wall > 10*deadline {
+		t.Fatalf("watchdog took %v to cancel a job with a %v deadline", hung.Wall, deadline)
+	}
+	if elapsed := time.Since(start); elapsed > 30*deadline {
+		t.Fatalf("batch blocked %v on a hung job with a %v deadline", elapsed, deadline)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Result.ExecCycles == 0 {
+			t.Fatalf("healthy job %d disturbed by the hang: %+v", i, results[i].Err)
+		}
+	}
+	if r.QuarantineSize() != 1 {
+		t.Fatalf("quarantine holds %d jobs, want 1", r.QuarantineSize())
+	}
+
+	// An identical job in a later batch fails fast instead of hanging again.
+	again, err := r.RunBatch(context.Background(), []Job{jobs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(again[0].Err, ErrJobQuarantined) || !errors.Is(again[0].Err, ErrJobTimeout) {
+		t.Fatalf("rerun of a hung job not quarantined: %v", again[0].Err)
+	}
+	if !again[0].Quarantined || again[0].Attempts != 0 {
+		t.Fatalf("quarantined job: Quarantined=%v Attempts=%d, want true/0",
+			again[0].Quarantined, again[0].Attempts)
+	}
+
+	// The sweep still yields a report: results for the healthy jobs plus a
+	// manifest naming what was lost.
+	manifest := RenderFailureManifest(CollectFailures(results))
+	if manifest == "" || !strings.Contains(manifest, "[timeout]") {
+		t.Fatalf("failure manifest missing the timeout entry:\n%s", manifest)
+	}
+	s := m.Snapshot()
+	if s.Timeouts != 1 || s.Quarantined != 1 || s.Errors != 2 {
+		t.Fatalf("metrics wrong after hang: %+v", s)
+	}
+	if !strings.Contains(s.String(), "1 timeouts") || !strings.Contains(s.String(), "1 quarantined") {
+		t.Fatalf("metrics summary omits the breakdown: %s", s)
+	}
+}
+
+// TestCrashQuarantine pins the quarantine path for crashing (not hanging)
+// jobs: a job that panics through every retry is quarantined, and identical
+// jobs in later batches fail fast.
+func TestCrashQuarantine(t *testing.T) {
+	jobs := []Job{{Machine: nil, Profile: tinyProfile(), Seed: 1}}
+	r := &Runner{Workers: 1}
+	first, _ := r.RunBatch(context.Background(), jobs)
+	if first[0].Err == nil || first[0].Attempts != 2 {
+		t.Fatalf("crash not retried then reported: %+v", first[0])
+	}
+	if r.QuarantineSize() != 1 {
+		t.Fatalf("crashed job not quarantined")
+	}
+	again, _ := r.RunBatch(context.Background(), jobs)
+	if !errors.Is(again[0].Err, ErrJobQuarantined) || again[0].Attempts != 0 {
+		t.Fatalf("rerun executed instead of failing fast: %+v", again[0])
+	}
+	if f := CollectFailures(again); len(f) != 1 || f[0].Kind() != "quarantined" {
+		t.Fatalf("manifest kind wrong: %+v", f)
+	}
+}
+
+// TestRetryBackoffRecovers verifies the exponential backoff path: a job that
+// crashes once and then succeeds is retried after the configured delay and
+// delivers its result.
+func TestRetryBackoffRecovers(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	r := &Runner{Workers: 1, Retries: 2, RetryBackoff: 5 * time.Millisecond}
+	r.execOverride = func(j Job) sim.Result {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			panic("transient crash")
+		}
+		return j.Execute()
+	}
+	jobs := testBatch()[:2]
+	start := time.Now()
+	results, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Attempts != 2 {
+		t.Fatalf("flaky job did not recover on retry: %+v", results[0])
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("retry fired after %v, before the backoff delay", elapsed)
+	}
+	if r.QuarantineSize() != 0 {
+		t.Fatalf("recovered job was quarantined")
+	}
+}
+
+// TestCachePutFailureCounted covers the swallowed-write path: when the cache
+// directory disappears mid-sweep, results still flow but the metrics summary
+// must surface the failed writes.
+func TestCachePutFailureCounted(t *testing.T) {
+	dir := t.TempDir() + "/cache"
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	m := &Metrics{}
+	r := &Runner{Workers: 1, Cache: c, Metrics: m}
+	results, err := r.RunBatch(context.Background(), testBatch()[:1])
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("a failed cache write must not fail the job: %v / %v", err, results[0].Err)
+	}
+	s := m.Snapshot()
+	if s.CachePutErrors != 1 {
+		t.Fatalf("CachePutErrors = %d, want 1", s.CachePutErrors)
+	}
+	if !strings.Contains(s.String(), "1 cache-put errors") {
+		t.Fatalf("metrics summary omits cache-put errors: %s", s)
 	}
 }
 

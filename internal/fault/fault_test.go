@@ -1,0 +1,131 @@
+package fault
+
+import "testing"
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	p := NewPlan(Config{Seed: 7})
+	for i := 0; i < 10_000; i++ {
+		if p.SpuriousSquash() || p.MessageDelay() != 0 || p.ForceOverflow() ||
+			p.CommitStall() != 0 || p.FlipTag() {
+			t.Fatal("zero config injected a fault")
+		}
+	}
+	if p.Total() != 0 {
+		t.Fatalf("zero config counted %d faults", p.Total())
+	}
+	if p.Summary() != "none" {
+		t.Fatalf("summary %q, want none", p.Summary())
+	}
+}
+
+// drive exercises every hook a fixed number of times and returns the
+// resulting decision trace.
+func drive(p *Plan, n int) []uint64 {
+	var trace []uint64
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		trace = append(trace,
+			b(p.SpuriousSquash()),
+			uint64(p.MessageDelay()),
+			b(p.ForceOverflow()),
+			uint64(p.CommitStall()),
+			b(p.FlipTag()))
+	}
+	return trace
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 42, SquashProb: 0.1, DelayProb: 0.2, DelayCycles: 100,
+		OverflowProb: 0.15, StallProb: 0.3, StallCycles: 500, FlipProb: 0.05,
+	}
+	a := drive(NewPlan(cfg), 2000)
+	b := drive(NewPlan(cfg), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+	other := cfg
+	other.Seed = 43
+	c := drive(NewPlan(other), 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision traces")
+	}
+}
+
+func TestBudgetBoundsInjection(t *testing.T) {
+	cfg := Config{Seed: 1, SquashProb: 1, FlipProb: 1, MaxFaults: 10}
+	p := NewPlan(cfg)
+	for i := 0; i < 1000; i++ {
+		p.SpuriousSquash()
+		p.FlipTag()
+	}
+	if p.Total() != 10 {
+		t.Fatalf("budget 10 but injected %d", p.Total())
+	}
+	if p.Count(SpuriousSquash)+p.Count(FlipTag) != 10 {
+		t.Fatalf("per-kind counts do not sum to the budget: squash=%d flip=%d",
+			p.Count(SpuriousSquash), p.Count(FlipTag))
+	}
+}
+
+func TestCampaignConfigDeterministicAndRecoverable(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		a, b := CampaignConfig(seed), CampaignConfig(seed)
+		if a != b {
+			t.Fatalf("seed %d: CampaignConfig not deterministic", seed)
+		}
+		if a.FlipProb != 0 {
+			t.Fatalf("seed %d: campaign config enables tag flips", seed)
+		}
+		if a.MaxFaults <= 0 {
+			t.Fatalf("seed %d: unbounded campaign config", seed)
+		}
+	}
+	// Across a window of seeds, every recoverable kind must get exercised.
+	var squash, delay, overflow, stall int
+	for seed := uint64(0); seed < 100; seed++ {
+		c := CampaignConfig(seed)
+		if c.SquashProb > 0 {
+			squash++
+		}
+		if c.DelayProb > 0 {
+			delay++
+		}
+		if c.OverflowProb > 0 {
+			overflow++
+		}
+		if c.StallProb > 0 {
+			stall++
+		}
+	}
+	if squash == 0 || delay == 0 || overflow == 0 || stall == 0 {
+		t.Fatalf("a fault class is never enabled: squash=%d delay=%d overflow=%d stall=%d",
+			squash, delay, overflow, stall)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Fatal("parsed a bogus kind")
+	}
+}

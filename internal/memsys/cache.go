@@ -91,6 +91,11 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// pressure, when non-nil, is the fault-injection capacity thief: an
+	// Insert that found a free way consults it and, if it fires, victimizes
+	// a resident line of the set anyway. Nil (the default) costs nothing.
+	pressure func() bool
 }
 
 // NewCache returns an empty cache with the given geometry.
@@ -194,11 +199,23 @@ func (c *Cache) BestVersionFor(tag LineAddr, reader ids.TaskID) *Line {
 // to memory).
 func (c *Cache) EvictionCandidate(tag LineAddr) *Line {
 	set := c.set(tag)
+	for i := range set {
+		if !set[i].Valid() {
+			return nil
+		}
+	}
+	return victimAmong(set)
+}
+
+// victimAmong applies the replacement policy to the valid lines of a set,
+// ignoring free ways: LRU among replaceable lines first, LRU speculative
+// version as a last resort. It returns nil for an all-invalid set.
+func victimAmong(set []Line) *Line {
 	var bestReplaceable, bestOwn *Line
 	for i := range set {
 		l := &set[i]
 		if !l.Valid() {
-			return nil
+			continue
 		}
 		if l.Kind == KindOwnVersion {
 			if bestOwn == nil || l.lastUse < bestOwn.lastUse {
@@ -236,8 +253,16 @@ func (c *Cache) Insert(tag LineAddr, producer ids.TaskID, kind LineKind) (victim
 			break
 		}
 	}
+	if slot != nil && c.pressure != nil && c.pressure() {
+		// Capacity theft: displace a resident line despite the free way.
+		if v := victimAmong(set); v != nil {
+			slot = v
+		}
+	}
 	if slot == nil {
-		slot = c.EvictionCandidate(tag)
+		slot = victimAmong(set)
+	}
+	if slot.Valid() {
 		victim = *slot
 		displacedDirty = victim.Dirty()
 		c.evictions++
@@ -322,6 +347,13 @@ func (c *Cache) LocalSpecVersionOwner(tag LineAddr, writer ids.TaskID) ids.TaskI
 	}
 	return owner
 }
+
+// SetPressure installs the fault-injection capacity thief consulted by
+// Insert whenever a free way is found; when it fires, the insert victimizes
+// a resident line of the set anyway, forcing speculative versions out to the
+// overflow area or to memory. A nil hook (the default) restores normal
+// behavior.
+func (c *Cache) SetPressure(h func() bool) { c.pressure = h }
 
 // Stats returns cumulative (hits, misses, evictions).
 func (c *Cache) Stats() (hits, misses, evictions uint64) {

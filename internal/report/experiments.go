@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -45,6 +46,13 @@ type Options struct {
 	// counts, cache hits, wall times, simulated-cycle throughput) across
 	// every sweep run with these options.
 	Metrics *exp.Metrics
+	// JobTimeout, when positive, arms exp's per-job watchdog: a simulation
+	// still running after this long is abandoned and reported in the
+	// grid's failure manifest instead of hanging the sweep.
+	JobTimeout time.Duration
+	// RetryBackoff is the delay before re-running a crashed simulation
+	// (doubling per retry); 0 retries immediately.
+	RetryBackoff time.Duration
 }
 
 // runner builds the exp worker pool these options describe.
@@ -53,7 +61,10 @@ func (o *Options) runner() *exp.Runner {
 	if o.Serial {
 		workers = 1
 	}
-	r := &exp.Runner{Workers: workers, Metrics: o.Metrics}
+	r := &exp.Runner{
+		Workers: workers, Metrics: o.Metrics,
+		JobTimeout: o.JobTimeout, RetryBackoff: o.RetryBackoff,
+	}
 	if o.CacheDir != "" {
 		if c, err := exp.NewCache(o.CacheDir); err == nil {
 			r.Cache = c
@@ -114,7 +125,15 @@ type Grid struct {
 	// Errors records jobs that failed even after the orchestrator's panic
 	// retry; their cells are zero. A fully healthy sweep leaves it empty.
 	Errors []error
+	// Failures is the structured failure manifest behind Errors: one entry
+	// per job without a result, classified (crash, timeout, quarantined)
+	// and keyed for reproduction. Render with exp.RenderFailureManifest.
+	Failures []exp.Failure
 }
+
+// Degraded reports whether the sweep lost any jobs; a degraded grid still
+// renders, with zero cells for the missing measurements.
+func (g *Grid) Degraded() bool { return len(g.Failures) > 0 }
 
 // Cell returns the measurement for (app, scheme).
 func (g *Grid) Cell(app string, scheme core.Scheme) Cell {
@@ -145,6 +164,7 @@ func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 		}
 	}
 	results, _ := opt.runner().RunBatch(context.Background(), jobs)
+	g.Failures = exp.CollectFailures(results)
 
 	// The first len(apps) results are the sequential baselines.
 	seqs := make(map[string]event.Time, len(apps))
@@ -207,6 +227,7 @@ func Figure10(opt Options) (*Grid, Cell) {
 		}
 		results, _ := opt.runner().RunBatch(context.Background(), jobs)
 		if results[0].Err != nil || results[1].Err != nil {
+			g.Failures = append(g.Failures, exp.CollectFailures(results)...)
 			for _, jr := range results {
 				if jr.Err != nil {
 					g.Errors = append(g.Errors, jr.Err)

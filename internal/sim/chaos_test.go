@@ -9,49 +9,19 @@ import (
 	"repro/internal/workload"
 )
 
-// randomProfile derives a small random-but-valid profile from a seed,
-// spanning the whole parameter space the generators accept: dense and
-// sparse writes, any privatization weight, early or late write phases,
-// balanced through heavy-tailed task lengths, and dependence intensities
-// from none to squash storms.
-func randomProfile(r *rng.Source) workload.Profile {
-	p := workload.Profile{
-		Name:           "chaos",
-		Tasks:          20 + r.Intn(60),
-		InstrPerTask:   500 + r.Intn(4000),
-		FootprintBytes: 64 + r.Intn(2048),
-		WriteDensity:   1 + r.Intn(16),
-		PrivFrac:       r.Float64(),
-		WritePhase:     0.1 + 0.9*r.Float64(),
-		ImbalanceCV:    r.Float64() * 1.5,
-		ReadsPerWrite:  r.Float64() * 3,
-		SharedReadFrac: r.Float64(),
-		HotReadWords:   256 << r.Intn(5),
-		DepProb:        r.Float64() * 0.5,
-		DepReach:       1 + r.Intn(16),
-		PackedChannels: r.Bool(0.3),
-	}
-	if r.Bool(0.3) {
-		p.HeavyTailFrac = 0.02 + r.Float64()*0.1
-		p.HeavyTailMax = 10 + r.Float64()*80
-	}
-	if r.Bool(0.4) {
-		p.TasksPerInvoc = 4 + r.Intn(16)
-	}
-	return p
-}
-
 // TestChaosInvariants runs randomized workloads through every scheme on
 // both machines and checks every invariant the simulator promises:
 //
 //   - every task commits exactly once;
 //   - per-processor breakdowns sum to the wall clock;
 //   - committed cross-task reads observed the sequential-order version;
+//   - the runtime protocol checker saw no violation at any commit, squash,
+//     or merge event;
 //   - the final memory image equals sequential execution's;
 //   - identical inputs give identical outputs.
 //
 // This is the repository's fuzzing layer: the fixed app profiles exercise
-// the paper's corners, the chaos profiles everything in between.
+// the paper's corners, the fuzz profiles everything in between.
 func TestChaosInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos suite is slow")
@@ -61,7 +31,7 @@ func TestChaosInvariants(t *testing.T) {
 	schemes := append(core.AllSchemes(), core.CoarseRecovery)
 	const rounds = 12
 	for round := 0; round < rounds; round++ {
-		p := randomProfile(r)
+		p := workload.FuzzProfile(r)
 		if err := p.Validate(); err != nil {
 			t.Fatalf("round %d: generated invalid profile: %v", round, err)
 		}
@@ -70,6 +40,7 @@ func TestChaosInvariants(t *testing.T) {
 		for _, sch := range schemes {
 			gen := workload.NewGenerator(p, seed)
 			s := New(mach, sch, gen)
+			s.EnableInvariantChecks()
 			res := s.Run()
 
 			if res.Commits != res.Tasks {
@@ -85,6 +56,13 @@ func TestChaosInvariants(t *testing.T) {
 			if !sch.Coarse && res.OracleViolations != 0 {
 				t.Errorf("round %d %s/%v: %d/%d committed reads wrong",
 					round, mach.Name, sch, res.OracleViolations, res.OracleChecks)
+			}
+			if n := s.InvariantViolationCount(); n != 0 {
+				t.Errorf("round %d %s/%v: %d invariant violations: %s",
+					round, mach.Name, sch, n, s.InvariantSummary())
+				for _, v := range s.InvariantViolations()[:min(3, len(s.InvariantViolations()))] {
+					t.Logf("  %s", v)
+				}
 			}
 			if checked, wrong := s.VerifyFinalMemory(); wrong != 0 || checked == 0 {
 				t.Errorf("round %d %s/%v: final memory %d/%d lines wrong",

@@ -69,6 +69,9 @@ func (s *Simulator) commitDuration(p *processor, t *task) event.Time {
 		dur += event.Time(ovf) * ovfLine
 	default: // FMM
 	}
+	if s.inject != nil {
+		dur += s.inject.CommitStall()
+	}
 	return dur
 }
 
@@ -76,7 +79,7 @@ func (s *Simulator) commitDuration(p *processor, t *task) event.Time {
 // finalizes statistics, advances the token, and wakes whoever was waiting.
 func (s *Simulator) finishCommit(t *task, now event.Time) {
 	p := s.procs[t.proc]
-	s.committing = nil
+	s.checkCommitStart(t, now)
 	s.tokenFreeAt = now
 	s.lastCommitBy = t.proc
 	s.commitPerTask.Observe(float64(now - t.commitStart))
@@ -103,7 +106,7 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 					// Ownership acquired; the data merges on displacement.
 					l.Kind = memsys.KindCommitted
 				} else {
-					s.mem.WriteBack(l.Tag, t.id)
+					s.memWriteBack(l.Tag, t.id, now)
 					l.Kind = memsys.KindCopy // now a clean copy of architectural data
 				}
 			}
@@ -113,7 +116,7 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 			if s.orbCommit {
 				s.vclWriteBack(p, line, t.id)
 			} else {
-				s.mem.WriteBack(line, t.id)
+				s.memWriteBack(line, t.id, now)
 			}
 		}
 	case s.scheme.KeepsCommittedVersionsInCache():
@@ -125,7 +128,7 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 		for _, line := range p.ovf.TaskLines(t.id) {
 			p.ovf.Retrieve(line, t.id)
 			if s.forceMTID {
-				s.mem.WriteBack(line, t.id)
+				s.memWriteBack(line, t.id, now)
 			} else {
 				s.vclWriteBack(p, line, t.id)
 			}
@@ -138,6 +141,10 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 		})
 		p.mhb.ReleaseCommitted(t.id)
 	}
+	// Cleared only after the merges: checkWriteBack treats the committing
+	// task's own write-backs as legitimate.
+	s.committing = nil
+	s.checkCommitEnd(p, t, now)
 
 	// Verify the sequential-semantics invariant on the task's cross-task
 	// reads: at commit, every communication read must have observed the
@@ -225,11 +232,12 @@ func (s *Simulator) finishSection(now event.Time) {
 		}
 	}
 	for tag, producer := range latest {
-		s.mem.WriteBack(tag, producer)
+		s.memWriteBack(tag, producer, now)
 	}
 	if s.scheme.Coarse && s.coarseViolated {
 		end = s.coarseRecover(end)
 	}
+	s.checkSectionEnd(end)
 	s.done = true
 	s.endTime = end
 	for _, p := range s.procs {

@@ -63,11 +63,11 @@ func (s *Simulator) fetch(p *processor, line memsys.LineAddr, producer ids.TaskI
 	// Remote versions: serviced from the owner's cache (3-hop), its
 	// overflow area, or memory.
 	if _, ok := owner.l2.Peek(line, producer); ok {
-		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote)
+		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote+s.faultDelay())
 		return done - now
 	}
 	if owner.ovf.Has(line, producer) {
-		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote+s.cfg.LatOverflow)
+		done := s.net.Transfer(p.id, uint64(line), now, s.cfg.LatCacheRemote+s.cfg.LatOverflow+s.faultDelay())
 		return done - now
 	}
 	return s.memLatency(p, line, now)
@@ -90,7 +90,7 @@ func (s *Simulator) memLatency(p *processor, line memsys.LineAddr, now event.Tim
 		home := s.net.Home(uint64(line))
 		lat = s.cfg.LatMemory(home == p.id)
 	}
-	done := s.net.Transfer(p.id, uint64(line), now, lat)
+	done := s.net.Transfer(p.id, uint64(line), now, lat+s.faultDelay())
 	return done - now
 }
 
@@ -127,7 +127,7 @@ func (s *Simulator) insertL2(p *processor, line memsys.LineAddr, producer ids.Ta
 		if s.scheme.UsesOverflowArea() {
 			p.ovf.Spill(victim.Tag, victim.Producer, victim.Written)
 		} else {
-			s.mem.WriteBack(victim.Tag, victim.Producer)
+			s.memWriteBack(victim.Tag, victim.Producer, p.lastTime)
 			s.fmmWritebacks++
 		}
 		s.net.Transfer(p.id, uint64(victim.Tag), p.lastTime, 0)
@@ -135,7 +135,7 @@ func (s *Simulator) insertL2(p *processor, line memsys.LineAddr, producer ids.Ta
 		if s.scheme.UsesUndoLog() || s.forceMTID {
 			// FMM (or the MTID ablation): the task-ID filter at memory
 			// rejects stale write-backs; no combining needed.
-			s.mem.WriteBack(victim.Tag, victim.Producer)
+			s.memWriteBack(victim.Tag, victim.Producer, p.lastTime)
 		} else {
 			// Lazy AMM / ORB: the version-combining logic merges in order.
 			s.vclWriteBack(p, victim.Tag, victim.Producer)
@@ -161,7 +161,7 @@ func (s *Simulator) vclWriteBack(p *processor, tag memsys.LineAddr, producer ids
 			}
 		}
 	}
-	s.mem.WriteBack(tag, latest)
+	s.memWriteBack(tag, latest, p.lastTime)
 	for _, q := range s.procs {
 		for _, l := range q.l2.VersionsOf(tag) {
 			if l.Kind == memsys.KindCommitted && l.Producer.Before(latest) {
@@ -170,6 +170,7 @@ func (s *Simulator) vclWriteBack(p *processor, tag memsys.LineAddr, producer ids
 			}
 		}
 	}
+	s.checkVCLMerge(tag, latest, p.lastTime)
 }
 
 // write performs a store by task t on processor p. It returns the latency

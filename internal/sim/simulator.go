@@ -106,6 +106,12 @@ type Simulator struct {
 	coarseViolated bool
 	vclMerges      uint64
 	fmmWritebacks  uint64
+
+	// inject, when non-nil, perturbs the run at the fault hook points; inv,
+	// when non-nil, validates the protocol invariants at every commit,
+	// squash, and merge event. Both default to off and cost nothing then.
+	inject FaultInjector
+	inv    *invariantChecker
 }
 
 // New builds a simulator. It panics on an invalid scheme: callers pass
@@ -212,6 +218,9 @@ func (s *Simulator) step(p *processor, now event.Time) {
 			}
 			s.chargeMemory(p, dt)
 			t.pc++
+			if s.inject != nil {
+				s.maybeFlipTag(p)
+			}
 		}
 		if s.done {
 			return

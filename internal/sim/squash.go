@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sort"
+
 	"repro/internal/event"
 	"repro/internal/ids"
 	"repro/internal/memsys"
@@ -69,20 +71,31 @@ func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
 	if s.scheme.UsesUndoLog() {
 		// FMM: the log walks run serially in reverse task order across the
 		// distributed MHBs (undo entries of different processors interleave
-		// in task order), so the handler times add up.
+		// in task order), so the handler times add up. The pops are per
+		// processor, but the restores must be applied globally youngest-
+		// overwriter-first: when squashed tasks on different processors
+		// overwrote the same line, a per-processor walk can finish by
+		// re-instating a squashed version that an earlier walk had already
+		// undone.
+		var undo []memsys.LogEntry
 		var serial event.Time
 		for pi, victims := range perProc {
 			if len(victims) == 0 {
 				continue
 			}
 			p := s.procs[pi]
-			undo := p.mhb.PopForRecovery(victims[0].id)
-			for _, e := range undo {
-				s.mem.Restore(e.Tag, e.Producer)
-			}
-			serial += s.cfg.FMMRestoreFixed + event.Time(len(undo))*s.cfg.FMMRestoreLine
+			popped := p.mhb.PopForRecovery(victims[0].id)
+			undo = append(undo, popped...)
+			serial += s.cfg.FMMRestoreFixed + event.Time(len(popped))*s.cfg.FMMRestoreLine
 			s.invalidateVersions(p, victims)
 		}
+		sort.SliceStable(undo, func(i, j int) bool {
+			return undo[i].Overwriter.After(undo[j].Overwriter)
+		})
+		for _, e := range undo {
+			s.mem.Restore(e.Tag, e.Producer)
+		}
+		s.checkRecovery(first, undo, now)
 		restart += serial
 	} else {
 		// AMM: gang-invalidate the MROB entries, processors in parallel.

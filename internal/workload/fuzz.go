@@ -1,0 +1,37 @@
+package workload
+
+import "repro/internal/rng"
+
+// FuzzProfile derives a small random-but-valid profile from the given
+// stream, spanning the whole parameter space the generators accept: dense
+// and sparse writes, any privatization weight, early or late write phases,
+// balanced through heavy-tailed task lengths, and dependence intensities
+// from none to squash storms. The chaos test suite and the tlschaos fault
+// campaigns both draw their workloads from here: the fixed app profiles
+// exercise the paper's corners, fuzz profiles everything in between.
+func FuzzProfile(r *rng.Source) Profile {
+	p := Profile{
+		Name:           "chaos",
+		Tasks:          20 + r.Intn(60),
+		InstrPerTask:   500 + r.Intn(4000),
+		FootprintBytes: 64 + r.Intn(2048),
+		WriteDensity:   1 + r.Intn(16),
+		PrivFrac:       r.Float64(),
+		WritePhase:     0.1 + 0.9*r.Float64(),
+		ImbalanceCV:    r.Float64() * 1.5,
+		ReadsPerWrite:  r.Float64() * 3,
+		SharedReadFrac: r.Float64(),
+		HotReadWords:   256 << r.Intn(5),
+		DepProb:        r.Float64() * 0.5,
+		DepReach:       1 + r.Intn(16),
+		PackedChannels: r.Bool(0.3),
+	}
+	if r.Bool(0.3) {
+		p.HeavyTailFrac = 0.02 + r.Float64()*0.1
+		p.HeavyTailMax = 10 + r.Float64()*80
+	}
+	if r.Bool(0.4) {
+		p.TasksPerInvoc = 4 + r.Intn(16)
+	}
+	return p
+}

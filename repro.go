@@ -231,7 +231,18 @@ type (
 	MetricsSnapshot = exp.Snapshot
 	// ResultCache is the persistent on-disk result cache.
 	ResultCache = exp.Cache
+	// JobFailure is one entry of a sweep's failure manifest.
+	JobFailure = exp.Failure
 )
+
+// CollectFailures extracts the failure manifest from a batch's results.
+func CollectFailures(results []JobResult) []JobFailure { return exp.CollectFailures(results) }
+
+// RenderFailureManifest renders a failure manifest as a text block ("" when
+// the sweep was clean).
+func RenderFailureManifest(failures []JobFailure) string {
+	return exp.RenderFailureManifest(failures)
+}
 
 // NewResultCache opens (creating if necessary) a persistent result cache
 // rooted at dir. Entries are keyed by job content hash plus the module
