@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fmt vet race chaos verify report
+.PHONY: build test fmt vet race chaos verify report bench bench-baseline
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,14 @@ verify: fmt vet build test race
 # report regenerates every table and figure through the orchestrator.
 report:
 	$(GO) run ./cmd/tlsreport -metrics
+
+# bench runs the tlsbench hot-path suite and gates allocs/op against the
+# checked-in baseline (±30% band); ns/op and events/sec are informational.
+bench:
+	$(GO) run ./cmd/tlsbench -compare BENCH_3.json
+
+# bench-baseline refreshes the checked-in baseline after an intentional
+# performance change (run on a quiet machine, then commit BENCH_3.json).
+bench-baseline:
+	$(GO) run ./cmd/tlsbench -out BENCH_3.json \
+		-note "PR 3 baseline after the hot-path allocation overhaul; seed (pre-overhaul) reference: event/schedule-fire 59.5 ns/op 1 alloc/op, directory/record-write-read 228.6 ns/op 2 allocs/op, sim/full-run 238.5 ms/op 130875 allocs/op"

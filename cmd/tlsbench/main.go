@@ -1,0 +1,292 @@
+// tlsbench is the repeatable performance harness for the simulator itself:
+// it runs the hot-path microbenchmarks (event queue, version directory,
+// cache) and one full (app, machine, scheme) simulation through
+// testing.Benchmark, prints the measurements, and can write them as a JSON
+// baseline or compare them against a checked-in one.
+//
+// Usage:
+//
+//	tlsbench                          # run and print
+//	tlsbench -out BENCH_3.json        # run and write the baseline
+//	tlsbench -compare BENCH_3.json    # run and gate against the baseline
+//
+// The comparison enforces only allocs/op (within -band, default ±30%, with
+// a small absolute floor so 0-alloc baselines tolerate measurement jitter):
+// allocation counts are a property of the code, deterministic across
+// machines and CI runners. ns/op and events/sec vary with the host and are
+// reported for trend-watching but never gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro"
+	"repro/internal/coherence"
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/memsys"
+	"repro/internal/profiling"
+)
+
+// Measurement is one benchmark's result in the baseline file.
+type Measurement struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Baseline is the checked-in BENCH_<n>.json document.
+type Baseline struct {
+	Note       string        `json:"note"`
+	Go         string        `json:"go"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+// suite lists the benchmarks in a fixed order.
+var suite = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"event/schedule-fire", benchEventScheduleFire},
+	{"event/cancel-compact", benchEventCancelCompact},
+	{"directory/record-write-read", benchDirRecordWriteRead},
+	{"directory/version-for", benchDirVersionFor},
+	{"cache/probe-hit", benchCacheProbeHit},
+	{"cache/insert-evict", benchCacheInsertEvict},
+	{"sim/full-run", benchFullRun},
+}
+
+func benchEventScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	var q event.Queue
+	fn := func(event.Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now()+event.Time(i%256), fn)
+		q.Step()
+	}
+}
+
+func benchEventCancelCompact(b *testing.B) {
+	b.ReportAllocs()
+	var q event.Queue
+	fn := func(event.Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Cancel(q.At(q.Now()+event.Time(i%256+1), fn))
+	}
+}
+
+func benchDirRecordWriteRead(b *testing.B) {
+	b.ReportAllocs()
+	d := coherence.NewDirectory()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ids.TaskID(i%64 + 1)
+		a := memsys.Addr(i % 4096)
+		d.RecordWrite(a, t)
+		d.RecordRead(a, t+1)
+		if i%64 == 63 {
+			for j := ids.TaskID(1); j <= 65; j++ {
+				d.Commit(j)
+			}
+		}
+	}
+}
+
+func benchDirVersionFor(b *testing.B) {
+	b.ReportAllocs()
+	d := coherence.NewDirectory()
+	for t := ids.TaskID(1); t <= 16; t++ {
+		d.RecordWrite(4, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.VersionFor(4, ids.TaskID(9))
+	}
+}
+
+func benchCacheProbeHit(b *testing.B) {
+	b.ReportAllocs()
+	c := memsys.NewCache(memsys.Config{Name: "L2", SizeBytes: 512 << 10, Ways: 4})
+	c.Insert(100, ids.TaskID(1), memsys.KindOwnVersion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(100, ids.TaskID(1))
+	}
+}
+
+func benchCacheInsertEvict(b *testing.B) {
+	b.ReportAllocs()
+	c := memsys.NewCache(memsys.Config{Name: "L2", SizeBytes: 64 << 10, Ways: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(memsys.LineAddr(i), ids.TaskID(i%8+1), memsys.KindOwnVersion)
+	}
+}
+
+// benchFullRun runs one mid-size (app, machine, scheme) simulation per
+// iteration and reports simulated events per op, from which events/sec of
+// host time is derived after the run.
+func benchFullRun(b *testing.B) {
+	b.ReportAllocs()
+	prof := repro.Bdna().Scale(0.25, 0.25, 0.25)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := repro.Run(repro.NUMA16(), repro.MultiTMVLazy, prof, 1)
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func measure() []Measurement {
+	var out []Measurement
+	for _, bm := range suite {
+		res := testing.Benchmark(bm.fn)
+		m := Measurement{
+			Name:        bm.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		}
+		if len(res.Extra) > 0 {
+			m.Extra = map[string]float64{}
+			for k, v := range res.Extra {
+				m.Extra[k] = v
+			}
+			if ev, ok := m.Extra["events/op"]; ok && m.NsPerOp > 0 {
+				m.Extra["events_per_sec"] = ev / m.NsPerOp * 1e9
+			}
+		}
+		fmt.Printf("%-28s %14.1f ns/op %10.0f B/op %8.0f allocs/op", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		if eps, ok := m.Extra["events_per_sec"]; ok {
+			fmt.Printf("  %.0f events/sec", eps)
+		}
+		fmt.Println()
+		out = append(out, m)
+	}
+	return out
+}
+
+// compare gates current allocs/op against the baseline. Returns the number
+// of violations.
+func compare(baseline Baseline, cur []Measurement, band float64) int {
+	byName := map[string]Measurement{}
+	for _, m := range baseline.Benchmarks {
+		byName[m.Name] = m
+	}
+	bad := 0
+	var names []string
+	for _, m := range cur {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	curByName := map[string]Measurement{}
+	for _, m := range cur {
+		curByName[m.Name] = m
+	}
+	for _, name := range names {
+		m := curByName[name]
+		base, ok := byName[name]
+		if !ok {
+			fmt.Printf("compare: %-28s NEW (no baseline entry)\n", name)
+			continue
+		}
+		// Absolute floor of 0.5 allocs lets 0-alloc baselines absorb
+		// measurement jitter while still catching a real new allocation.
+		tol := band * base.AllocsPerOp
+		if tol < 0.5 {
+			tol = 0.5
+		}
+		switch {
+		case m.AllocsPerOp > base.AllocsPerOp+tol:
+			fmt.Printf("compare: %-28s FAIL allocs/op %.1f exceeds baseline %.1f (+%.0f%% band)\n",
+				name, m.AllocsPerOp, base.AllocsPerOp, 100*band)
+			bad++
+		case m.AllocsPerOp < base.AllocsPerOp-tol:
+			fmt.Printf("compare: %-28s improved: allocs/op %.1f below baseline %.1f — consider refreshing the baseline\n",
+				name, m.AllocsPerOp, base.AllocsPerOp)
+		default:
+			fmt.Printf("compare: %-28s ok (allocs/op %.1f vs %.1f)\n", name, m.AllocsPerOp, base.AllocsPerOp)
+		}
+		if base.NsPerOp > 0 {
+			drift := 100 * (m.NsPerOp - base.NsPerOp) / base.NsPerOp
+			if drift > 100*band || drift < -100*band {
+				fmt.Printf("compare: %-28s note: ns/op drifted %+.0f%% (informational; timing never gates)\n", name, drift)
+			}
+		}
+	}
+	return bad
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write measurements as a JSON baseline to this path")
+		against = flag.String("compare", "", "compare against this JSON baseline; exit 1 outside the band")
+		band    = flag.Float64("band", 0.30, "guard band for the allocs/op comparison")
+		note    = flag.String("note", "", "note stored in the baseline file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	)
+	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	cur := measure()
+
+	if *out != "" {
+		doc := Baseline{
+			Note:       *note,
+			Go:         runtime.Version(),
+			Benchmarks: cur,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
+			stopProf()
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s\n", *out)
+	}
+
+	if *against != "" {
+		data, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
+			stopProf()
+			os.Exit(1)
+		}
+		var baseline Baseline
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: bad baseline %s: %v\n", *against, err)
+			stopProf()
+			os.Exit(1)
+		}
+		if bad := compare(baseline, cur, *band); bad > 0 {
+			fmt.Fprintf(os.Stderr, "tlsbench: %d benchmark(s) outside the allocation band\n", bad)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Println("all benchmarks within the allocation band")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -43,8 +44,17 @@ func main() {
 		cache   = flag.String("cache", "", "persistent result-cache directory (warm reruns skip unchanged simulations)")
 		metrics = flag.Bool("metrics", false, "print an orchestration summary line to stderr at exit")
 		timeout = flag.Duration("timeout", 0, "per-job watchdog deadline (0 disables; hung jobs land in the failure manifest)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *only != "" && !known(*only) {
 		fmt.Fprintf(os.Stderr, "tlsreport: unknown artifact %q; valid -only values: %s\n",
@@ -189,6 +199,7 @@ func main() {
 	}
 	if len(failures) > 0 {
 		fmt.Fprint(os.Stderr, "tlsreport: "+repro.RenderFailureManifest(failures))
+		stopProf()
 		os.Exit(1)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -28,8 +29,17 @@ func main() {
 		instr    = flag.Float64("instr", 0.25, "instruction scale factor")
 		foot     = flag.Float64("foot", 0.25, "footprint scale factor")
 		list     = flag.Bool("list", false, "list schemes and applications, then exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlssim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("schemes:")
@@ -100,6 +110,7 @@ func main() {
 
 	if r.OracleViolations != 0 {
 		fmt.Fprintln(os.Stderr, "tlssim: PROTOCOL VIOLATION DETECTED")
+		stopProf()
 		os.Exit(1)
 	}
 }

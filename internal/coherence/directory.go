@@ -10,25 +10,40 @@
 // cache, the overflow area, or memory) is tracked by the simulator; the
 // directory answers the ordering questions: which producer's version must
 // a reader observe, and does a write violate a recorded read.
+//
+// The bookkeeping is arena-backed and allocation-free in steady state: word
+// entries live in one slice and are recycled through a free list (their
+// version and reader slices keep their capacity), per-task footprint marks
+// are recycled through a ring keyed by task ID, and the hot paths
+// (RecordRead, RecordWrite, VersionFor, Squash, Commit) use manual binary
+// searches and insertion sorts instead of the closure-allocating sort
+// package helpers.
 package coherence
 
 import (
-	"sort"
-
 	"repro/internal/ids"
 	"repro/internal/memsys"
 )
 
-// wordState is the directory entry for one word.
+// readerMark records that an uncommitted reader observed the version of one
+// producer (None = pre-section architectural data). Keeping the minimum
+// observed producer makes the violation check conservative and exact: a
+// later write W violates reader R iff W is ordered after the oldest value R
+// consumed and before R itself.
+type readerMark struct {
+	reader   ids.TaskID
+	consumed ids.TaskID
+}
+
+// wordState is the directory entry for one word. Word entries are pooled:
+// when a squash or commit empties one it returns to the Directory's free
+// list with its slice capacity intact.
 type wordState struct {
 	// versions holds the producers of live versions, ascending by task ID.
 	versions []ids.TaskID
-	// readers maps an uncommitted reader task to the earliest producer
-	// whose version it observed (None = pre-section architectural data).
-	// Keeping the minimum makes the violation check conservative and exact:
-	// a later write W violates reader R iff W is ordered after the oldest
-	// value R consumed and before R itself.
-	readers map[ids.TaskID]ids.TaskID
+	// readers holds the uncommitted readers' marks, in first-read order
+	// (small-N: scanned linearly).
+	readers []readerMark
 }
 
 // taskMarks remembers which words a task touched so that squash and commit
@@ -38,10 +53,31 @@ type taskMarks struct {
 	reads  []memsys.Addr
 }
 
+// taskSlot is one entry of the task-marks ring: live task IDs occupy the
+// slot at index id mod ring-size. Uncommitted tasks form a dense ID window,
+// so the ring only grows when the window outgrows it, and committed or
+// squashed tasks return their marks to the free pool.
+type taskSlot struct {
+	id ids.TaskID
+	m  *taskMarks
+}
+
 // Directory is the global version directory of one speculative section.
 type Directory struct {
-	words  map[memsys.Addr]*wordState
-	byTask map[ids.TaskID]*taskMarks
+	// words maps a word address to its entry's index in states.
+	words  map[memsys.Addr]int32
+	states []wordState
+	// freeWords indexes recycled (emptied) entries of states.
+	freeWords []int32
+
+	// slots is the task-marks ring (power-of-two length); marksFree pools
+	// released marks.
+	slots     []taskSlot
+	marksFree []*taskMarks
+
+	// scratch backs laterReaders; prunedBuf backs Commit's return value.
+	scratch   []ids.TaskID
+	prunedBuf []PrunedVersion
 
 	// Statistics.
 	violations uint64
@@ -60,43 +96,158 @@ type Directory struct {
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
 	return &Directory{
-		words:  make(map[memsys.Addr]*wordState),
-		byTask: make(map[ids.TaskID]*taskMarks),
+		words: make(map[memsys.Addr]int32),
 	}
 }
 
-func (d *Directory) word(a memsys.Addr) *wordState {
-	w := d.words[a]
-	if w == nil {
-		w = &wordState{}
-		d.words[a] = w
+// lowerBound returns the first index i with !v[i].Before(t) (i.e. v[i] >= t)
+// in the ascending version list v.
+func lowerBound(v []ids.TaskID, t ids.TaskID) int {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].Before(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return w
+	return lo
 }
 
+// upperBound returns the first index i with v[i].After(t) in the ascending
+// version list v.
+func upperBound(v []ids.TaskID, t ids.TaskID) int {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].After(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// wordFor returns the entry for word a, creating it (from the free list
+// when possible) on first touch.
+func (d *Directory) wordFor(a memsys.Addr) *wordState {
+	if i, ok := d.words[a]; ok {
+		return &d.states[i]
+	}
+	var i int32
+	if n := len(d.freeWords); n > 0 {
+		i = d.freeWords[n-1]
+		d.freeWords = d.freeWords[:n-1]
+	} else {
+		d.states = append(d.states, wordState{})
+		i = int32(len(d.states) - 1)
+	}
+	d.words[a] = i
+	return &d.states[i]
+}
+
+// releaseWord recycles an emptied entry: squash-storm sections (Euler)
+// would otherwise leak directory entries for words that are no longer live.
+func (d *Directory) releaseWord(a memsys.Addr, i int32) {
+	w := &d.states[i]
+	w.versions = w.versions[:0]
+	w.readers = w.readers[:0]
+	delete(d.words, a)
+	d.freeWords = append(d.freeWords, i)
+}
+
+// marks returns task t's footprint marks, claiming a ring slot (and a
+// pooled marks struct) on first touch.
 func (d *Directory) marks(t ids.TaskID) *taskMarks {
-	m := d.byTask[t]
-	if m == nil {
-		m = &taskMarks{}
-		d.byTask[t] = m
+	for {
+		if len(d.slots) == 0 {
+			d.slots = make([]taskSlot, 64)
+		}
+		s := &d.slots[int(uint64(t)&uint64(len(d.slots)-1))]
+		if s.m == nil {
+			var m *taskMarks
+			if n := len(d.marksFree); n > 0 {
+				m = d.marksFree[n-1]
+				d.marksFree = d.marksFree[:n-1]
+			} else {
+				m = &taskMarks{}
+			}
+			*s = taskSlot{id: t, m: m}
+			return m
+		}
+		if s.id == t {
+			return s.m
+		}
+		// Live collision: the uncommitted-task window outgrew the ring.
+		d.growSlots()
 	}
-	return m
+}
+
+// growSlots doubles the ring until every live task hashes to its own slot.
+// Live IDs form a window no wider than the uncommitted-task count, so a
+// large enough power-of-two ring always separates them.
+func (d *Directory) growSlots() {
+	old := d.slots
+	for size := 2 * len(old); ; size *= 2 {
+		slots := make([]taskSlot, size)
+		ok := true
+		for _, s := range old {
+			if s.m == nil {
+				continue
+			}
+			dst := &slots[int(uint64(s.id)&uint64(size-1))]
+			if dst.m != nil {
+				ok = false
+				break
+			}
+			*dst = s
+		}
+		if ok {
+			d.slots = slots
+			return
+		}
+	}
+}
+
+// lookupMarks returns t's marks or nil without claiming a slot.
+func (d *Directory) lookupMarks(t ids.TaskID) *taskMarks {
+	if len(d.slots) == 0 {
+		return nil
+	}
+	s := &d.slots[int(uint64(t)&uint64(len(d.slots)-1))]
+	if s.m != nil && s.id == t {
+		return s.m
+	}
+	return nil
+}
+
+// releaseMarks recycles t's marks struct and frees its ring slot.
+func (d *Directory) releaseMarks(t ids.TaskID) {
+	s := &d.slots[int(uint64(t)&uint64(len(d.slots)-1))]
+	m := s.m
+	m.writes = m.writes[:0]
+	m.reads = m.reads[:0]
+	d.marksFree = append(d.marksFree, m)
+	*s = taskSlot{}
 }
 
 // VersionFor returns the producer whose version a read by reader must
 // observe: the highest-ID producer at or before reader. None means the
 // architectural (pre-section) value.
 func (d *Directory) VersionFor(a memsys.Addr, reader ids.TaskID) ids.TaskID {
-	w := d.words[a]
-	if w == nil {
+	i, ok := d.words[a]
+	if !ok {
 		return ids.None
 	}
+	v := d.states[i].versions
 	// First version strictly after reader; the one before it is the answer.
-	i := sort.Search(len(w.versions), func(i int) bool { return w.versions[i].After(reader) })
-	if i == 0 {
+	j := upperBound(v, reader)
+	if j == 0 {
 		return ids.None
 	}
-	return w.versions[i-1]
+	return v[j-1]
 }
 
 // RecordRead registers that reader consumed the current correct version of
@@ -105,16 +256,18 @@ func (d *Directory) VersionFor(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 func (d *Directory) RecordRead(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 	d.reads++
 	producer := d.VersionFor(a, reader)
-	w := d.word(a)
-	if w.readers == nil {
-		w.readers = make(map[ids.TaskID]ids.TaskID)
+	w := d.wordFor(a)
+	for i := range w.readers {
+		if w.readers[i].reader == reader {
+			if producer.Before(w.readers[i].consumed) {
+				w.readers[i].consumed = producer
+			}
+			return producer
+		}
 	}
-	if prev, ok := w.readers[reader]; !ok {
-		w.readers[reader] = producer
-		d.marks(reader).reads = append(d.marks(reader).reads, a)
-	} else if producer.Before(prev) {
-		w.readers[reader] = producer
-	}
+	w.readers = append(w.readers, readerMark{reader: reader, consumed: producer})
+	m := d.marks(reader)
+	m.reads = append(m.reads, a)
 	return producer
 }
 
@@ -128,26 +281,27 @@ func (d *Directory) RecordRead(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 // write by the same task is idempotent here.
 func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
 	d.writes++
-	w := d.word(a)
-	i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(writer) })
+	w := d.wordFor(a)
+	i := lowerBound(w.versions, writer)
 	if i == len(w.versions) || w.versions[i] != writer {
 		w.versions = append(w.versions, ids.None)
 		copy(w.versions[i+1:], w.versions[i:])
 		w.versions[i] = writer
-		d.marks(writer).writes = append(d.marks(writer).writes, a)
+		m := d.marks(writer)
+		m.writes = append(m.writes, a)
 	}
 	victim := ids.None
-	for reader, consumed := range w.readers {
-		if reader.After(writer) && consumed.Before(writer) {
-			if victim == ids.None || reader.Before(victim) {
-				victim = reader
+	for _, rm := range w.readers {
+		if rm.reader.After(writer) && rm.consumed.Before(writer) {
+			if victim == ids.None || rm.reader.Before(victim) {
+				victim = rm.reader
 			}
 		}
 	}
 	if victim != ids.None {
 		d.violations++
 	} else if d.spurious != nil {
-		if v := d.spurious(laterReaders(w, writer)); v != ids.None {
+		if v := d.spurious(d.laterReaders(w, writer)); v != ids.None {
 			victim = v
 			d.injected++
 		}
@@ -155,17 +309,23 @@ func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
 	return victim
 }
 
-// laterReaders returns the readers of w ordered after writer, ascending.
-// Map iteration order is randomized, so the slice is sorted to keep fault
-// injection deterministic.
-func laterReaders(w *wordState, writer ids.TaskID) []ids.TaskID {
-	var out []ids.TaskID
-	for r := range w.readers {
-		if r.After(writer) {
-			out = append(out, r)
+// laterReaders returns the readers of w ordered after writer, ascending,
+// in a scratch buffer reused across calls (valid until the next
+// RecordWrite). The sort keeps fault injection deterministic.
+func (d *Directory) laterReaders(w *wordState, writer ids.TaskID) []ids.TaskID {
+	out := d.scratch[:0]
+	for _, rm := range w.readers {
+		if !rm.reader.After(writer) {
+			continue
+		}
+		i := len(out)
+		out = append(out, rm.reader)
+		for i > 0 && out[i].Before(out[i-1]) {
+			out[i], out[i-1] = out[i-1], out[i]
+			i--
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	d.scratch = out
 	return out
 }
 
@@ -179,60 +339,100 @@ func (d *Directory) SetSpuriousConflict(h func(readers []ids.TaskID) ids.TaskID)
 // detected; they are excluded from the violations statistic.
 func (d *Directory) InjectedConflicts() uint64 { return d.injected }
 
-// Squash removes every version produced and every read mark left by task t.
-// The simulator calls it for each squashed task before re-execution.
+// removeReader deletes t's mark from w (order among remaining marks is
+// irrelevant: the violation scan takes a minimum and laterReaders sorts).
+func removeReader(w *wordState, t ids.TaskID) {
+	for i := range w.readers {
+		if w.readers[i].reader == t {
+			last := len(w.readers) - 1
+			w.readers[i] = w.readers[last]
+			w.readers = w.readers[:last]
+			return
+		}
+	}
+}
+
+// Squash removes every version produced and every read mark left by task t,
+// deleting word entries the removal empties. The simulator calls it for
+// each squashed task before re-execution.
 func (d *Directory) Squash(t ids.TaskID) {
-	m := d.byTask[t]
+	m := d.lookupMarks(t)
 	if m == nil {
 		return
 	}
 	for _, a := range m.writes {
-		w := d.words[a]
-		if w == nil {
+		i, ok := d.words[a]
+		if !ok {
 			continue
 		}
-		i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(t) })
-		if i < len(w.versions) && w.versions[i] == t {
-			w.versions = append(w.versions[:i], w.versions[i+1:]...)
+		w := &d.states[i]
+		j := lowerBound(w.versions, t)
+		if j < len(w.versions) && w.versions[j] == t {
+			w.versions = append(w.versions[:j], w.versions[j+1:]...)
+		}
+		if len(w.versions) == 0 && len(w.readers) == 0 {
+			d.releaseWord(a, i)
 		}
 	}
 	for _, a := range m.reads {
-		if w := d.words[a]; w != nil {
-			delete(w.readers, t)
+		i, ok := d.words[a]
+		if !ok {
+			continue
+		}
+		w := &d.states[i]
+		removeReader(w, t)
+		if len(w.versions) == 0 && len(w.readers) == 0 {
+			d.releaseWord(a, i)
 		}
 	}
-	delete(d.byTask, t)
+	d.releaseMarks(t)
 }
 
 // Commit finalizes task t: its read marks are dropped (no uncommitted
 // predecessor writer can exist any more) and versions it superseded are
 // pruned (no live reader can ever need a version older than a committed
 // one). Pruned producers are reported so the simulator can drop any
-// lingering storage for them.
-func (d *Directory) Commit(t ids.TaskID) (pruned []PrunedVersion) {
-	m := d.byTask[t]
+// lingering storage for them; the returned slice is reused by the next
+// Commit call and must not be retained.
+func (d *Directory) Commit(t ids.TaskID) []PrunedVersion {
+	m := d.lookupMarks(t)
 	if m == nil {
 		return nil
 	}
+	pruned := d.prunedBuf[:0]
 	for _, a := range m.reads {
-		if w := d.words[a]; w != nil {
-			delete(w.readers, t)
+		i, ok := d.words[a]
+		if !ok {
+			continue
+		}
+		w := &d.states[i]
+		removeReader(w, t)
+		if len(w.versions) == 0 && len(w.readers) == 0 {
+			d.releaseWord(a, i)
 		}
 	}
 	for _, a := range m.writes {
-		w := d.words[a]
-		if w == nil {
+		i, ok := d.words[a]
+		if !ok {
 			continue
 		}
-		i := sort.Search(len(w.versions), func(i int) bool { return !w.versions[i].Before(t) })
-		for _, old := range w.versions[:i] {
+		w := &d.states[i]
+		j := lowerBound(w.versions, t)
+		for _, old := range w.versions[:j] {
 			pruned = append(pruned, PrunedVersion{Addr: a, Producer: old})
 		}
-		if i > 0 {
-			w.versions = append(w.versions[:0], w.versions[i:]...)
+		if j > 0 {
+			w.versions = append(w.versions[:0], w.versions[j:]...)
+		}
+		if len(w.versions) == 0 && len(w.readers) == 0 {
+			d.releaseWord(a, i)
 		}
 	}
-	delete(d.byTask, t)
+	d.releaseMarks(t)
+	d.prunedBuf = pruned
+	if len(pruned) == 0 {
+		return nil
+	}
 	return pruned
 }
 
@@ -245,7 +445,7 @@ type PrunedVersion struct {
 // WordsWritten returns the number of distinct words task t has live writes
 // for (its written footprint, in words).
 func (d *Directory) WordsWritten(t ids.TaskID) int {
-	if m := d.byTask[t]; m != nil {
+	if m := d.lookupMarks(t); m != nil {
 		return len(m.writes)
 	}
 	return 0
@@ -253,20 +453,32 @@ func (d *Directory) WordsWritten(t ids.TaskID) int {
 
 // WrittenAddrs returns the distinct words task t has live writes for.
 func (d *Directory) WrittenAddrs(t ids.TaskID) []memsys.Addr {
-	if m := d.byTask[t]; m != nil {
+	if m := d.lookupMarks(t); m != nil {
 		return m.writes
 	}
 	return nil
 }
 
 // LiveWords returns the number of directory entries (for memory-bound
-// tests).
+// tests). Entries emptied by squash or commit cleanup are deleted, so this
+// shrinks when words stop being live.
 func (d *Directory) LiveWords() int { return len(d.words) }
+
+// LiveTasks returns the number of tasks with live footprint marks.
+func (d *Directory) LiveTasks() int {
+	n := 0
+	for _, s := range d.slots {
+		if s.m != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // VersionCount returns the number of live versions of word a.
 func (d *Directory) VersionCount(a memsys.Addr) int {
-	if w := d.words[a]; w != nil {
-		return len(w.versions)
+	if i, ok := d.words[a]; ok {
+		return len(d.states[i].versions)
 	}
 	return 0
 }

@@ -264,3 +264,131 @@ func TestLiveWordsBounded(t *testing.T) {
 		t.Fatalf("LiveWords = %d", d.LiveWords())
 	}
 }
+
+// TestMapsShrinkAfterFullSectionSquash is the regression lock for the
+// directory-entry leak: squashing every task of a section must delete the
+// emptied word entries and the tasks' footprint marks, not just their
+// contents.
+func TestMapsShrinkAfterFullSectionSquash(t *testing.T) {
+	d := NewDirectory()
+	for task := ids.TaskID(1); task <= 32; task++ {
+		base := memsys.Addr(task) * 64
+		for w := memsys.Addr(0); w < 8; w += 4 {
+			d.RecordWrite(base+w, task)
+			d.RecordRead(base+w+32, task)
+		}
+	}
+	if d.LiveWords() == 0 || d.LiveTasks() != 32 {
+		t.Fatalf("setup: LiveWords = %d, LiveTasks = %d", d.LiveWords(), d.LiveTasks())
+	}
+	for task := ids.TaskID(1); task <= 32; task++ {
+		d.Squash(task)
+	}
+	if d.LiveWords() != 0 {
+		t.Fatalf("LiveWords = %d after full-section squash, want 0", d.LiveWords())
+	}
+	if d.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d after full-section squash, want 0", d.LiveTasks())
+	}
+}
+
+// TestMapsShrinkAfterCommits: committing the whole section with disjoint
+// read-only footprints must likewise drain both tables (the committed
+// versions of written words stay live on purpose).
+func TestMapsShrinkAfterCommits(t *testing.T) {
+	d := NewDirectory()
+	for task := ids.TaskID(1); task <= 16; task++ {
+		d.RecordRead(memsys.Addr(task)*4, task)
+	}
+	for task := ids.TaskID(1); task <= 16; task++ {
+		d.Commit(task)
+	}
+	if d.LiveWords() != 0 {
+		t.Fatalf("LiveWords = %d after read-only commits, want 0", d.LiveWords())
+	}
+	if d.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d after commits, want 0", d.LiveTasks())
+	}
+}
+
+// TestManyLiveTasks forces the task-marks ring to grow past its initial
+// size with every task still live, then checks each footprint survived.
+func TestManyLiveTasks(t *testing.T) {
+	d := NewDirectory()
+	const n = 500
+	for task := ids.TaskID(1); task <= n; task++ {
+		d.RecordWrite(memsys.Addr(task)*4, task)
+	}
+	if d.LiveTasks() != n {
+		t.Fatalf("LiveTasks = %d, want %d", d.LiveTasks(), n)
+	}
+	for task := ids.TaskID(1); task <= n; task++ {
+		if d.WordsWritten(task) != 1 {
+			t.Fatalf("task %d lost its footprint across ring growth", task)
+		}
+	}
+	for task := ids.TaskID(1); task <= n; task++ {
+		d.Commit(task)
+	}
+	if d.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d after committing all, want 0", d.LiveTasks())
+	}
+}
+
+// TestDirectoryHotPathAllocFree locks the arena/pooling work: in steady
+// state (a section shape already seen once), RecordRead, RecordWrite,
+// VersionFor, Squash and Commit must not touch the allocator.
+func TestDirectoryHotPathAllocFree(t *testing.T) {
+	d := NewDirectory()
+	task := ids.TaskID(0)
+	section := func() {
+		task++
+		w, r := task, task+1
+		for a := memsys.Addr(0); a < 256; a += 4 {
+			d.RecordWrite(a, w)
+			d.RecordRead(a, r)
+		}
+		d.Squash(r)
+		d.Commit(w)
+		task++
+	}
+	for i := 0; i < 8; i++ {
+		section() // warm up pools to the section's footprint
+	}
+	if n := testing.AllocsPerRun(100, section); n != 0 {
+		t.Fatalf("directory section allocates %.1f allocs/op in steady state, want 0", n)
+	}
+}
+
+// TestVersionForAllocFree: the read-resolution path alone must be
+// allocation-free even on a cold directory.
+func TestVersionForAllocFree(t *testing.T) {
+	d := NewDirectory()
+	for task := ids.TaskID(1); task <= 8; task++ {
+		d.RecordWrite(4, task)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		d.VersionFor(4, ids.TaskID(5))
+		d.VersionFor(8, ids.TaskID(5))
+	}); n != 0 {
+		t.Fatalf("VersionFor allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestCommitPrunedBufferReuse documents the Commit contract: the returned
+// slice is valid until the next Commit call.
+func TestCommitPrunedBufferReuse(t *testing.T) {
+	d := NewDirectory()
+	d.RecordWrite(4, ids.TaskID(1))
+	d.RecordWrite(4, ids.TaskID(2))
+	d.RecordWrite(8, ids.TaskID(3))
+	d.RecordWrite(8, ids.TaskID(4))
+	first := d.Commit(ids.TaskID(2))
+	if len(first) != 1 || first[0].Producer != ids.TaskID(1) {
+		t.Fatalf("first commit pruned %+v", first)
+	}
+	second := d.Commit(ids.TaskID(4))
+	if len(second) != 1 || second[0].Producer != ids.TaskID(3) || second[0].Addr != 8 {
+		t.Fatalf("second commit pruned %+v", second)
+	}
+}

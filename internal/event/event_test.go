@@ -77,23 +77,120 @@ func TestSchedulingInPastPanics(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	fired := false
-	e := q.At(10, func(Time) { fired = true })
-	q.Cancel(e)
+	h := q.At(10, func(Time) { fired = true })
+	if !h.Pending() {
+		t.Fatal("Pending() = false for a scheduled event")
+	}
+	q.Cancel(h)
 	q.Run(0)
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if h.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
-	q.Cancel(nil) // must not panic
+	q.Cancel(h)        // double cancel must be a no-op
+	q.Cancel(Handle{}) // zero handle must not panic
+}
+
+func TestCancelStaleHandleIsNoop(t *testing.T) {
+	var q Queue
+	h := q.At(10, func(Time) {})
+	q.Run(0)
+	// The Event behind h is recycled for the next occurrence; canceling the
+	// stale handle must not touch it.
+	h2 := q.At(20, func(Time) {})
+	q.Cancel(h)
+	if !h2.Pending() {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d after stale Cancel, want 1", q.Len())
+	}
+}
+
+func TestAtNeverPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(Never) must panic")
+		}
+	}()
+	q.At(Never, func(Time) {})
+}
+
+// TestCanceledEventsCompacted is the regression lock for the unbounded-heap
+// leak: a watchdog-heavy run that schedules and cancels a million events
+// must keep the raw heap bounded by the live population, not the
+// cancellation churn, and Len must stay exact throughout.
+func TestCanceledEventsCompacted(t *testing.T) {
+	var q Queue
+	fn := func(Time) {}
+	const n = 1_000_000
+	live := 0
+	for i := 0; i < n; i++ {
+		h := q.At(Time(i+1), fn)
+		if i%1000 == 0 {
+			live++ // every 1000th event survives
+		} else {
+			q.Cancel(h)
+			q.Cancel(h) // double cancel must stay a no-op
+		}
+		// The heap may lag by the <50% dead allowance but must never grow
+		// with total cancellations.
+		if s := q.heapSize(); s > 2*live+compactMinHeap {
+			t.Fatalf("heap holds %d entries for %d live events at iteration %d", s, live, i)
+		}
+	}
+	if q.Len() != live {
+		t.Fatalf("Len() = %d, want %d", q.Len(), live)
+	}
+	if q.Compactions() == 0 {
+		t.Fatal("cancel-heavy run never compacted")
+	}
+	if got := q.Run(0); got != uint64(live) {
+		t.Fatalf("Run fired %d of the %d surviving events", got, live)
+	}
+}
+
+// TestCancelOnlyHeapStaysBounded cancels every scheduled event: the heap
+// must stay near-empty instead of accumulating a million dead entries.
+func TestCancelOnlyHeapStaysBounded(t *testing.T) {
+	var q Queue
+	fn := func(Time) {}
+	for i := 0; i < 1_000_000; i++ {
+		q.Cancel(q.At(Time(i+1), fn))
+		if s := q.heapSize(); s > compactMinHeap {
+			t.Fatalf("heap grew to %d dead entries at iteration %d", s, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+}
+
+// TestScheduleFireAllocFree locks the free-list pooling: after warm-up,
+// the schedule+fire steady state must not touch the allocator.
+func TestScheduleFireAllocFree(t *testing.T) {
+	var q Queue
+	fn := func(Time) {}
+	for i := 0; i < 64; i++ {
+		q.At(q.Now()+Time(i%8), fn)
+	}
+	q.Run(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		q.At(q.Now()+4, fn)
+		q.Step()
+	}); n != 0 {
+		t.Fatalf("schedule+fire allocates %.1f allocs/op in steady state, want 0", n)
+	}
 }
 
 func TestLenSkipsCanceled(t *testing.T) {
 	var q Queue
-	e1 := q.At(1, func(Time) {})
+	h1 := q.At(1, func(Time) {})
 	q.At(2, func(Time) {})
-	q.Cancel(e1)
+	q.Cancel(h1)
 	if q.Len() != 1 {
 		t.Fatalf("Len() = %d, want 1", q.Len())
 	}
@@ -116,8 +213,8 @@ func TestRunLimit(t *testing.T) {
 func TestFiredCounter(t *testing.T) {
 	var q Queue
 	q.At(1, func(Time) {})
-	e := q.At(2, func(Time) {})
-	q.Cancel(e)
+	h := q.At(2, func(Time) {})
+	q.Cancel(h)
 	q.Run(0)
 	if q.Fired() != 1 {
 		t.Fatalf("Fired() = %d, want 1 (canceled events don't count)", q.Fired())

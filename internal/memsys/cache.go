@@ -168,6 +168,19 @@ func (c *Cache) VersionsOf(tag LineAddr) []*Line {
 	return out
 }
 
+// ForVersionsOf visits every valid line with the given tag in way order —
+// the allocation-free form of VersionsOf for hot paths (VCL merging). The
+// visitor may mutate the line but must not insert or invalidate.
+func (c *Cache) ForVersionsOf(tag LineAddr, visit func(*Line)) {
+	set := c.set(tag)
+	for i := range set {
+		l := &set[i]
+		if l.Valid() && l.Tag == tag {
+			visit(l)
+		}
+	}
+}
+
 // BestVersionFor performs the CRL selection: among cached versions of tag,
 // it returns the one with the highest producer ID that is still at or below
 // reader, preferring later versions. Copies and versions alike qualify —

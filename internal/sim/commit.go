@@ -32,7 +32,12 @@ func (s *Simulator) maybeCommit(now event.Time) {
 	s.committing = t
 	s.trace(start, TraceCommitStart, t)
 
-	s.q.At(start+dur, func(done event.Time) { s.finishCommit(t, done) })
+	if s.commitDone == nil {
+		// One closure for every commit of the run: commits are serialized, so
+		// the committing task is always s.committing when the event fires.
+		s.commitDone = func(done event.Time) { s.finishCommit(s.committing, done) }
+	}
+	s.q.At(start+dur, s.commitDone)
 }
 
 // commitDuration is the time the task holds the commit token.
@@ -48,7 +53,7 @@ func (s *Simulator) maybeCommit(now event.Time) {
 //     image.
 func (s *Simulator) commitDuration(p *processor, t *task) event.Time {
 	dur := s.cfg.CommitFixed
-	ovf := len(p.ovf.TaskLines(t.id))
+	ovf := p.ovf.TaskCount(t.id)
 	// Overflow-area retrievals do not pipeline: the area is a sequentially
 	// accessed region of local memory, "slow when asked to return versions,
 	// which especially hurts when committing a task".
@@ -111,28 +116,26 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 				}
 			}
 		})
-		for _, line := range p.ovf.TaskLines(t.id) {
-			p.ovf.Retrieve(line, t.id)
+		p.ovf.DrainTask(t.id, func(line memsys.LineAddr, _ memsys.WordMask) {
 			if s.orbCommit {
 				s.vclWriteBack(p, line, t.id)
 			} else {
 				s.memWriteBack(line, t.id, now)
 			}
-		}
+		})
 	case s.scheme.KeepsCommittedVersionsInCache():
 		p.l2.ForEach(func(l *memsys.Line) {
 			if l.Producer == t.id && l.Kind == memsys.KindOwnVersion {
 				l.Kind = memsys.KindCommitted
 			}
 		})
-		for _, line := range p.ovf.TaskLines(t.id) {
-			p.ovf.Retrieve(line, t.id)
+		p.ovf.DrainTask(t.id, func(line memsys.LineAddr, _ memsys.WordMask) {
 			if s.forceMTID {
 				s.memWriteBack(line, t.id, now)
 			} else {
 				s.vclWriteBack(p, line, t.id)
 			}
-		}
+		})
 	default: // FMM
 		p.l2.ForEach(func(l *memsys.Line) {
 			if l.Producer == t.id && l.Kind == memsys.KindOwnVersion {
@@ -152,14 +155,14 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 	// exempt mid-run — their stale reads are what the end-of-section test
 	// catches and the serial re-execution repairs.
 	if oracle, ok := s.gen.(OrderOracle); ok && !s.scheme.Coarse {
-		for addr, consumed := range t.consumed {
+		for _, cr := range t.consumed {
 			s.oracleChecks++
-			wantIdx := oracle.SequentialOrderOracle(addr, t.index)
+			wantIdx := oracle.SequentialOrderOracle(cr.addr, t.index)
 			want := ids.None
 			if wantIdx >= 0 {
 				want = ids.TaskID(wantIdx + 1)
 			}
-			if consumed != want {
+			if cr.producer != want {
 				s.oracleViolations++
 			}
 		}

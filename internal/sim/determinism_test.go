@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestRepeatRunIsIdentical locks determinism through the pooled hot paths:
+// two runs of the same (machine, scheme, profile, seed) must agree on every
+// reported quantity, not just the final cycle count. Object pooling, arena
+// recycling, and heap compaction all reuse state across a run — none of
+// that reuse may leak into results.
+func TestRepeatRunIsIdentical(t *testing.T) {
+	p := workload.Bdna().Scale(0.25, 0.25, 0.25)
+	first := Run(machine.NUMA16(), core.MultiTMVEager, p, 1)
+	second := Run(machine.NUMA16(), core.MultiTMVEager, p, 1)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("repeat run diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	// The squash-prone Euler exercises the compaction and recycling paths
+	// hardest; lock it too.
+	ep := workload.Euler().Scale(0.1, 0.1, 0.25)
+	ep.DepProb = 0.3
+	ef := Run(machine.NUMA16(), core.MultiTMVFMM, ep, 99)
+	es := Run(machine.NUMA16(), core.MultiTMVFMM, ep, 99)
+	if !reflect.DeepEqual(ef, es) {
+		t.Fatalf("repeat Euler/FMM run diverged:\nfirst:  %+v\nsecond: %+v", ef, es)
+	}
+}

@@ -14,12 +14,7 @@ import (
 func (s *Simulator) read(p *processor, t *task, addr memsys.Addr) event.Time {
 	producer := s.dir.RecordRead(s.dirAddr(addr), t.id)
 	if addr >= workload.CommBase {
-		if t.consumed == nil {
-			t.consumed = make(map[memsys.Addr]ids.TaskID, 2)
-		}
-		if _, ok := t.consumed[addr]; !ok {
-			t.consumed[addr] = producer
-		}
+		t.recordConsumed(addr, producer)
 	}
 	line := addr.Line()
 	if _, ok := p.l1.Probe(line, producer); ok {
@@ -155,20 +150,26 @@ func (s *Simulator) insertL2(p *processor, line memsys.LineAddr, producer ids.Ta
 func (s *Simulator) vclWriteBack(p *processor, tag memsys.LineAddr, producer ids.TaskID) {
 	latest := producer
 	for _, q := range s.procs {
-		for _, l := range q.l2.VersionsOf(tag) {
+		q.l2.ForVersionsOf(tag, func(l *memsys.Line) {
 			if l.Kind == memsys.KindCommitted && l.Producer.After(latest) {
 				latest = l.Producer
 			}
-		}
+		})
 	}
 	s.memWriteBack(tag, latest, p.lastTime)
 	for _, q := range s.procs {
-		for _, l := range q.l2.VersionsOf(tag) {
+		// Collect-then-invalidate: the visitor must not invalidate mid-walk.
+		stale := s.vclStale[:0]
+		q.l2.ForVersionsOf(tag, func(l *memsys.Line) {
 			if l.Kind == memsys.KindCommitted && l.Producer.Before(latest) {
-				q.l2.Invalidate(tag, l.Producer)
-				q.l1.Invalidate(tag, l.Producer)
+				stale = append(stale, l.Producer)
 			}
+		})
+		for _, old := range stale {
+			q.l2.Invalidate(tag, old)
+			q.l1.Invalidate(tag, old)
 		}
+		s.vclStale = stale[:0]
 	}
 	s.checkVCLMerge(tag, latest, p.lastTime)
 }

@@ -59,8 +59,11 @@ type processor struct {
 	// blockedUntil delays execution during squash recovery.
 	blockedUntil event.Time
 
-	// scheduled is true while a continuation event is pending.
+	// scheduled is true while a continuation event is pending; cont is the
+	// processor's single continuation closure, built once in New so the
+	// per-event schedule path does not allocate.
 	scheduled bool
+	cont      func(now event.Time)
 
 	opBuf []workload.Op
 }

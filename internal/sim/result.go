@@ -18,6 +18,10 @@ type Result struct {
 	// including any end-of-section lazy merge.
 	ExecCycles event.Time
 
+	// Events is the number of simulation events fired during the run — the
+	// denominator of the simulator's own events/sec throughput metric.
+	Events uint64
+
 	// PerProc are the per-processor time breakdowns; Agg is their sum.
 	PerProc []stats.Breakdown
 	Agg     stats.Breakdown
@@ -97,6 +101,7 @@ func (s *Simulator) collect() Result {
 		App:        s.gen.Name(),
 		Scheme:     s.scheme,
 		ExecCycles: s.endTime,
+		Events:     s.q.Fired(),
 
 		Tasks:         s.total,
 		Commits:       s.commits,

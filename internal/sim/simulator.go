@@ -72,6 +72,7 @@ type Simulator struct {
 	total    int
 
 	committing   *task
+	commitDone   func(done event.Time)
 	tokenFreeAt  event.Time
 	lastCommitBy ids.ProcID
 	waiters      map[ids.TaskID][]*processor
@@ -112,6 +113,11 @@ type Simulator struct {
 	// squash, and merge event. Both default to off and cost nothing then.
 	inject FaultInjector
 	inv    *invariantChecker
+
+	// Reused hot-path scratch: per-processor squash victim lists and the
+	// stale-version buffer of the VCL merge.
+	squashScratch [][]*task
+	vclStale      []ids.TaskID
 }
 
 // New builds a simulator. It panics on an invalid scheme: callers pass
@@ -138,14 +144,22 @@ func New(cfg *machine.Config, scheme core.Scheme, gen Workload) *Simulator {
 		s.l3 = make(map[memsys.LineAddr]bool)
 	}
 	for i := 0; i < cfg.Procs; i++ {
-		s.procs = append(s.procs, &processor{
+		p := &processor{
 			id:  ids.ProcID(i),
 			l1:  memsys.NewCache(cfg.L1),
 			l2:  memsys.NewCache(cfg.L2),
 			ovf: memsys.NewOverflow(),
 			mhb: memsys.NewMHB(),
-		})
+		}
+		// One continuation closure per processor for the whole run: schedule
+		// is the hottest event producer and must not allocate per event.
+		p.cont = func(now event.Time) {
+			p.scheduled = false
+			s.step(p, now)
+		}
+		s.procs = append(s.procs, p)
 	}
+	s.squashScratch = make([][]*task, cfg.Procs)
 	return s
 }
 
@@ -156,10 +170,7 @@ func (s *Simulator) schedule(p *processor, at event.Time) {
 		return
 	}
 	p.scheduled = true
-	s.q.At(at, func(now event.Time) {
-		p.scheduled = false
-		s.step(p, now)
-	})
+	s.q.At(at, p.cont)
 }
 
 // Run executes the section to completion and returns the results.
@@ -168,10 +179,16 @@ func (s *Simulator) Run() Result {
 	for _, p := range s.procs {
 		s.schedule(p, 0)
 	}
-	s.q.Run(eventLimit)
+	// Run(limit) with limit > 0 is a budget: a return value equal to the
+	// limit means the budget was exhausted, not that the queue drained.
+	fired := s.q.Run(eventLimit)
 	if !s.done {
-		panic(fmt.Sprintf("sim: %s/%v/%s did not complete: %d tasks committed of %d, %d events fired",
-			s.cfg.Name, s.scheme, s.gen.Name(), s.commits, s.total, s.q.Fired()))
+		reason := "deadlocked"
+		if fired >= eventLimit {
+			reason = "hit the event limit (livelock?)"
+		}
+		panic(fmt.Sprintf("sim: %s/%v/%s %s: %d tasks committed of %d, %d events fired",
+			s.cfg.Name, s.scheme, s.gen.Name(), reason, s.commits, s.total, s.q.Fired()))
 	}
 	return s.collect()
 }

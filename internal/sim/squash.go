@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"sort"
-
 	"repro/internal/event"
 	"repro/internal/ids"
 	"repro/internal/memsys"
@@ -22,8 +20,12 @@ func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
 	s.squashEvents++
 
 	// Collect the victims: every uncommitted task at or after first,
-	// grouped per processor, in deterministic ID order.
-	perProc := make([][]*task, len(s.procs))
+	// grouped per processor, in deterministic ID order. The per-processor
+	// lists are scratch reused across squashes.
+	perProc := s.squashScratch
+	for i := range perProc {
+		perProc[i] = perProc[i][:0]
+	}
 	for id, t := range s.tasks {
 		if !id.Before(first) && t.state != taskCommitted {
 			perProc[t.proc] = append(perProc[t.proc], t)
@@ -89,9 +91,14 @@ func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
 			serial += s.cfg.FMMRestoreFixed + event.Time(len(popped))*s.cfg.FMMRestoreLine
 			s.invalidateVersions(p, victims)
 		}
-		sort.SliceStable(undo, func(i, j int) bool {
-			return undo[i].Overwriter.After(undo[j].Overwriter)
-		})
+		// Stable insertion sort, youngest overwriter first (equal overwriters
+		// keep their per-processor pop order): undo lists are short, and this
+		// avoids the sort package's allocating closure path.
+		for i := 1; i < len(undo); i++ {
+			for j := i; j > 0 && undo[j].Overwriter.After(undo[j-1].Overwriter); j-- {
+				undo[j], undo[j-1] = undo[j-1], undo[j]
+			}
+		}
 		for _, e := range undo {
 			s.mem.Restore(e.Tag, e.Producer)
 		}

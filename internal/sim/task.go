@@ -44,14 +44,33 @@ type task struct {
 	privWords    int
 
 	// consumed records, for communication-region reads, the producer whose
-	// version the read observed — checked against the sequential-order
-	// oracle at commit (the protocol-correctness invariant).
-	consumed map[memsys.Addr]ids.TaskID
+	// version the first read of each address observed — checked against the
+	// sequential-order oracle at commit (the protocol-correctness
+	// invariant). Kept as a first-read-ordered slice: communication
+	// footprints are small, and the backing array survives squashes.
+	consumed []consumedRead
 
 	// commitStart is when the commit token reached the task.
 	commitStart event.Time
 
 	squashCount int
+}
+
+// consumedRead is one communication-region address and the producer whose
+// version its first read observed.
+type consumedRead struct {
+	addr     memsys.Addr
+	producer ids.TaskID
+}
+
+// recordConsumed notes the producer observed by the first read of addr.
+func (t *task) recordConsumed(addr memsys.Addr, producer ids.TaskID) {
+	for i := range t.consumed {
+		if t.consumed[i].addr == addr {
+			return
+		}
+	}
+	t.consumed = append(t.consumed, consumedRead{addr: addr, producer: producer})
 }
 
 // reset prepares the task for (re-)execution after a squash.
@@ -61,5 +80,5 @@ func (t *task) reset() {
 	t.pc = 0
 	t.wordsWritten = 0
 	t.privWords = 0
-	t.consumed = nil
+	t.consumed = t.consumed[:0]
 }
