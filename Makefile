@@ -23,11 +23,13 @@ race:
 	$(GO) test -race ./internal/exp ./internal/report ./internal/sim
 
 # chaos is the bounded fault-injection campaign (~30s): recoverable faults
-# must be absorbed with zero invariant violations, and injected tag
-# corruption must be detected by the checker.
+# must be absorbed with zero invariant violations, injected tag corruption
+# must be detected by the checker, and an interrupted-then-resumed campaign
+# must emit a report byte-identical to an uninterrupted run's.
 chaos:
 	$(GO) run ./cmd/tlschaos -seeds 40
 	$(GO) run ./cmd/tlschaos -seeds 10 -faults flip-tag
+	GO="$(GO)" sh ./scripts/chaos_drill.sh
 
 # verify is the CI gate: formatting, vet, build, full tests, race tests.
 verify: fmt vet build test race

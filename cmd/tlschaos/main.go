@@ -11,25 +11,38 @@
 //
 //	tlschaos -seeds 50                  # campaign: seeds 1..50 × schemes
 //	tlschaos -replay 17                 # re-run seed 17 verbosely
+//	tlschaos -replay failures.json      # re-run every recorded failing case
 //	tlschaos -faults flip-tag -seeds 10 # corruption drill: flips MUST be
 //	                                    # detected by the checker
 //
 // Failing cases are recorded as JSON (-record) with the exact seed, scheme
-// and fault mix, so a later `tlschaos -replay <seed>` reproduces the run —
-// same injected faults, same invariant report, same cycle count.
+// and fault mix, so a later `tlschaos -replay <seed>` (or `-replay
+// <record-file>`) reproduces the run — same injected faults, same invariant
+// report, same cycle count.
+//
+// Long campaigns are crash-safe: with -journal every case is logged to an
+// fsync'd JSONL WAL and in-flight simulations checkpoint on SIGINT/SIGTERM
+// (exit 130); `tlschaos -resume <journal>` skips completed cases and
+// restarts interrupted ones from their latest checkpoint.
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/rng"
@@ -56,6 +69,10 @@ type outcome struct {
 	Uncommitted int
 	TimedOut    bool
 	PanicMsg    string
+
+	// Interrupted marks a case halted mid-run by a graceful shutdown; it
+	// carries no verdict and is never journaled (its checkpoint is).
+	Interrupted bool
 
 	Samples []string // first few invariant violations, for the report
 }
@@ -96,20 +113,56 @@ type record struct {
 	Replay      string
 }
 
+// campaign bundles the crash-safety machinery threaded through the workers:
+// the cancellation context, the WAL, the checkpoint directory, and the
+// journal-recovered state of a resumed run.
+type campaign struct {
+	ctx     context.Context
+	journal *exp.Journal
+	ckptDir string
+	ckptN   int
+	faults  string             // the -faults selection, part of the case key
+	resume  map[string]string  // case key -> latest checkpoint file
+	done    map[string]outcome // case key -> journaled outcome
+}
+
+// key is the case's stable content hash: the join key between journal
+// records and checkpoint files across processes.
+func (cc *campaign) key(c chaosCase, mach string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("tlschaos|%s|%s|%d|%s", mach, c.Scheme, c.Seed, cc.faults)))
+	return hex.EncodeToString(sum[:])
+}
+
+func caseLabel(c chaosCase) string { return fmt.Sprintf("seed %d %s", c.Seed, c.Scheme) }
+
 func main() {
 	var (
 		seeds    = flag.Uint64("seeds", 50, "campaign seeds (1..N), each crossed with every scheme")
-		replay   = flag.Uint64("replay", 0, "re-run one campaign seed verbosely (0 = full campaign)")
+		replayF  = flag.String("replay", "", "re-run one campaign seed verbosely, or every case of a -record file (\"\" = full campaign)")
 		schemesF = flag.String("schemes", "MultiT&MV Eager AMM;MultiT&MV Lazy AMM;MultiT&MV FMM",
 			"semicolon-separated schemes under test")
 		machineF = flag.String("machine", "numa16", "machine model: numa16 or cmp8")
 		faultsF  = flag.String("faults", "recoverable",
 			"comma-separated fault classes: recoverable, spurious-squash, delay-message, force-overflow, stall-commit, flip-tag")
-		timeout = flag.Duration("case-timeout", 20*time.Second, "per-case watchdog deadline")
-		jobs    = flag.Int("jobs", 0, "parallel cases (0 = GOMAXPROCS)")
-		recordF = flag.String("record", "tlschaos-failures.json", "write failing cases as JSON here (\"\" disables)")
+		timeout  = flag.Duration("case-timeout", 20*time.Second, "per-case watchdog deadline")
+		jobs     = flag.Int("jobs", 0, "parallel cases (0 = GOMAXPROCS)")
+		recordF  = flag.String("record", "tlschaos-failures.json", "write failing cases as JSON here (\"\" disables)")
+		journalF = flag.String("journal", "", "append campaign progress to this JSONL journal (crash recovery via -resume)")
+		resumeF  = flag.String("resume", "", "resume a crashed or interrupted campaign from its journal (implies -journal)")
+		ckptDirF = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt)")
+		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 	)
 	flag.Parse()
+
+	// -replay takes either a campaign seed or a -record file to re-run.
+	var replaySeed uint64
+	if *replayF != "" {
+		if n, err := strconv.ParseUint(*replayF, 10, 64); err == nil && n > 0 {
+			replaySeed = n
+		} else {
+			os.Exit(replayRecords(*replayF, *timeout))
+		}
+	}
 
 	cfg, ok := machineByName(*machineF)
 	if !ok {
@@ -130,8 +183,8 @@ func main() {
 
 	var cases []chaosCase
 	lo, hi := uint64(1), *seeds
-	if *replay != 0 {
-		lo, hi = *replay, *replay
+	if replaySeed != 0 {
+		lo, hi = replaySeed, replaySeed
 	}
 	for seed := lo; seed <= hi; seed++ {
 		for _, sch := range schemes {
@@ -139,7 +192,73 @@ func main() {
 		}
 	}
 
-	outcomes := runAll(cases, cfg, selection, flips, *timeout, *jobs)
+	// Graceful shutdown: first SIGINT/SIGTERM interrupts every in-flight
+	// case (each checkpoints at its next commit and unwinds, exit 130); a
+	// second signal hard-exits.
+	sd := exp.NewShutdown(nil)
+	defer sd.Stop()
+
+	journalPath := *journalF
+	if *resumeF != "" {
+		journalPath = *resumeF
+	}
+	var cmp *campaign
+	if journalPath != "" {
+		cmp = &campaign{
+			ctx: sd.Context(), ckptN: *ckptN, faults: *faultsF,
+			resume: make(map[string]string), done: make(map[string]outcome),
+		}
+		if *resumeF != "" {
+			recs, err := exp.ReadJournal(*resumeF)
+			if err != nil {
+				fatalf("resume: %v", err)
+			}
+			for _, rec := range recs {
+				switch rec.T {
+				case exp.RecCheckpoint:
+					if rec.Key != "" && rec.Ckpt != "" {
+						cmp.resume[rec.Key] = rec.Ckpt
+					}
+				case exp.RecJobDone:
+					if rec.Key == "" {
+						break
+					}
+					delete(cmp.resume, rec.Key)
+					var o outcome
+					if len(rec.Data) > 0 && json.Unmarshal(rec.Data, &o) == nil {
+						cmp.done[rec.Key] = o
+					}
+				}
+			}
+		}
+		j, err := exp.OpenJournal(journalPath)
+		if err != nil {
+			fatalf("journal: %v", err)
+		}
+		defer j.Close()
+		cmp.journal = j
+		if *resumeF == "" {
+			j.Append(exp.JournalRecord{T: exp.RecCampaign, Name: "tlschaos"})
+		}
+		cmp.ckptDir = *ckptDirF
+		if cmp.ckptDir == "" {
+			cmp.ckptDir = journalPath + ".ckpt"
+		}
+		if err := os.MkdirAll(cmp.ckptDir, 0o755); err != nil {
+			fatalf("checkpoint dir: %v", err)
+		}
+	}
+
+	outcomes := runAll(sd.Context(), cmp, cases, cfg, selection, flips, *timeout, *jobs)
+
+	if sd.Interrupted() {
+		if journalPath != "" {
+			fmt.Fprintf(os.Stderr, "tlschaos: interrupted; resume with -resume %s\n", journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "tlschaos: interrupted (run with -journal to make campaigns resumable)")
+		}
+		os.Exit(exp.ExitInterrupted)
+	}
 
 	var failures []record
 	faults, detections := 0, 0
@@ -148,7 +267,7 @@ func main() {
 		if o.detected() {
 			detections++
 		}
-		if *replay != 0 {
+		if replaySeed != 0 {
 			printVerbose(o)
 		}
 		if o.failed(flips) {
@@ -209,9 +328,26 @@ func planFor(seed uint64, selection map[fault.Kind]bool) fault.Config {
 	return c
 }
 
+// buildCase constructs the case's simulator (fuzzed workload, invariant
+// checker armed, fault plan installed). Construction is repeatable, which is
+// what lets a resumed case rebuild and Restore.
+func buildCase(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool) (*sim.Simulator, *fault.Plan) {
+	prof := workload.FuzzProfile(rng.New(c.Seed ^ 0xc4a05bedb1a5e5))
+	gen := workload.NewGenerator(prof, c.Seed)
+	s := sim.New(cfg, c.Scheme, gen)
+	s.EnableInvariantChecks()
+	plan := fault.NewPlan(planFor(c.Seed, selection))
+	s.InjectFaults(plan)
+	return s, plan
+}
+
 // runCase executes one case under the watchdog. The simulation goroutine is
-// abandoned on timeout (a deterministic hang cannot be preempted).
-func runCase(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool, deadline time.Duration) outcome {
+// abandoned on timeout (a deterministic hang cannot be preempted). When a
+// campaign is active the case restores from its latest checkpoint, writes
+// new checkpoints as it commits, and halts (checkpointing first) when the
+// shutdown context dies.
+func runCase(ctx context.Context, cmp *campaign, key string, c chaosCase,
+	cfg *machine.Config, selection map[fault.Kind]bool, deadline time.Duration) outcome {
 	o := outcome{Case: c}
 	done := make(chan outcome, 1)
 	go func() {
@@ -223,13 +359,50 @@ func runCase(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool, de
 		// The workload is fuzzed per seed — same stream the chaos test
 		// suite draws from — so the campaign covers the whole profile
 		// space, not just the paper's applications.
-		prof := workload.FuzzProfile(rng.New(c.Seed ^ 0xc4a05bedb1a5e5))
-		gen := workload.NewGenerator(prof, c.Seed)
-		s := sim.New(cfg, c.Scheme, gen)
-		s.EnableInvariantChecks()
-		plan := fault.NewPlan(planFor(c.Seed, selection))
-		s.InjectFaults(plan)
+		s, plan := buildCase(c, cfg, selection)
+		if cmp != nil {
+			if path, ok := cmp.resume[key]; ok {
+				restored := false
+				if ck, err := sim.ReadCheckpointFile(path); err == nil {
+					restored = s.Restore(ck) == nil
+				}
+				if !restored {
+					// Unreadable or mismatched checkpoint: start over
+					// (resume is best-effort, never an error source).
+					s, plan = buildCase(c, cfg, selection)
+				}
+			}
+			if cmp.ckptDir != "" {
+				ckPath := filepath.Join(cmp.ckptDir, key+".ckpt")
+				if cmp.ckptN > 0 {
+					s.SetAutoCheckpoint(cmp.ckptN)
+				}
+				s.SetCheckpointSink(func(ck *sim.Checkpoint) {
+					if err := sim.WriteCheckpointFile(ckPath, ck); err == nil && cmp.journal != nil {
+						cmp.journal.Append(exp.JournalRecord{
+							T: exp.RecCheckpoint, Key: key, Label: caseLabel(c),
+							Ckpt: ckPath, Commits: ck.Commits,
+						})
+					}
+				})
+			}
+		}
+		// Drain at the next commit boundary when the shutdown context dies.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Interrupt()
+			case <-stop:
+			}
+		}()
+
 		res := s.Run()
+		if s.Halted() {
+			done <- outcome{Case: c, Interrupted: true}
+			return
+		}
 
 		r := outcome{Case: c,
 			Cycles: uint64(res.ExecCycles), Faults: plan.Summary(), FaultCount: plan.Total(),
@@ -256,8 +429,11 @@ func runCase(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool, de
 }
 
 // runAll fans the cases over a worker pool; outcomes return in case order.
-func runAll(cases []chaosCase, cfg *machine.Config, selection map[fault.Kind]bool,
-	flips bool, deadline time.Duration, workers int) []outcome {
+// With a campaign active, journaled cases are skipped (their outcome is
+// replayed from the WAL) and finished cases are journaled as job-done with
+// the outcome embedded.
+func runAll(ctx context.Context, cmp *campaign, cases []chaosCase, cfg *machine.Config,
+	selection map[fault.Kind]bool, flips bool, deadline time.Duration, workers int) []outcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -272,16 +448,112 @@ func runAll(cases []chaosCase, cfg *machine.Config, selection map[fault.Kind]boo
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = runCase(cases[i], cfg, selection, deadline)
+				c := cases[i]
+				if cmp == nil {
+					out[i] = runCase(ctx, nil, "", c, cfg, selection, deadline)
+					continue
+				}
+				key := cmp.key(c, cfg.Name)
+				if prev, done := cmp.done[key]; done {
+					out[i] = prev
+					continue
+				}
+				if ctx.Err() != nil {
+					out[i] = outcome{Case: c, Interrupted: true}
+					continue
+				}
+				cmp.journal.Append(exp.JournalRecord{T: exp.RecJobStart, Key: key, Label: caseLabel(c)})
+				o := runCase(ctx, cmp, key, c, cfg, selection, deadline)
+				if !o.Interrupted {
+					// Journal the verdict (the case never re-runs on resume)
+					// and drop the now-obsolete checkpoint.
+					data, _ := json.Marshal(o)
+					cmp.journal.Append(exp.JournalRecord{
+						T: exp.RecJobDone, Key: key, Label: caseLabel(c), Data: data,
+					})
+					os.Remove(filepath.Join(cmp.ckptDir, key+".ckpt"))
+				}
+				out[i] = o
 			}
 		}()
 	}
+feed:
 	for i := range cases {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark everything unfed as interrupted and stop feeding.
+			for j := i; j < len(cases); j++ {
+				out[j] = outcome{Case: cases[j], Interrupted: true}
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// replayRecords re-runs every case of a -record file with its exact seed,
+// scheme, machine and fault mix, and verifies the failure reproduces. The
+// exit code follows the campaign convention (0 all clean, 1 failures, 2 bad
+// input).
+func replayRecords(path string, deadline time.Duration) int {
+	records, err := readRecords(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlschaos: %v\n", err)
+		return 2
+	}
+	failing := 0
+	for _, rec := range records {
+		cfg, ok := machineByName(rec.Machine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: unknown machine %q\n", path, rec.Machine)
+			return 2
+		}
+		sch, ok := core.SchemeFromString(rec.Scheme)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: unknown scheme %q\n", path, rec.Scheme)
+			return 2
+		}
+		selection, flips, err := parseFaults(rec.Faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: %v\n", path, err)
+			return 2
+		}
+		c := chaosCase{Seed: rec.Seed, Scheme: sch}
+		o := runCase(context.Background(), nil, "", c, cfg, selection, deadline)
+		printVerbose(o)
+		if o.failed(flips) {
+			failing++
+		}
+	}
+	fmt.Printf("tlschaos: replayed %d recorded case(s) from %s, %d still failing\n",
+		len(records), path, failing)
+	if failing > 0 {
+		return 1
+	}
+	return 0
+}
+
+// readRecords loads a -record file, translating the raw I/O and decode
+// failure modes into actionable errors that name the offending path.
+func readRecords(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("recording not found: %s (campaigns write it with -record)", path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading recording %s: %v", path, err)
+	}
+	var rs []record
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("recording %s is truncated or corrupt: %v (re-run the campaign to regenerate it)", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("recording %s contains no cases", path)
+	}
+	return rs, nil
 }
 
 // parseFaults resolves the -faults selection; "recoverable" expands to every

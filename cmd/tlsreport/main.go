@@ -46,6 +46,10 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-job watchdog deadline (0 disables; hung jobs land in the failure manifest)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		journal = flag.String("journal", "", "append campaign progress to this JSONL journal (crash recovery via -resume)")
+		resume  = flag.String("resume", "", "resume a crashed or interrupted campaign from its journal (implies -journal)")
+		ckptDir = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
+		ckptN   = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context (in-flight simulations checkpoint and drain, the journal is
+	// flushed, exit 130); a second signal hard-exits.
+	sd := repro.NewShutdown(nil)
+	defer sd.Stop()
+	opt.Context = sd.Context()
+
+	journalPath := *journal
+	if *resume != "" {
+		journalPath = *resume
+		st, err := repro.LoadCampaign(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsreport: resume: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Resume = st.Checkpoints
+		if *cache == "" {
+			// Completed jobs are skipped via the cache; without one they
+			// simply re-run (correct, just slower).
+			fmt.Fprintln(os.Stderr, "tlsreport: -resume without -cache re-runs completed jobs")
+		}
+	}
+	if journalPath != "" {
+		j, err := repro.OpenJournal(journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsreport: journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		opt.Journal = j
+		if *resume == "" {
+			j.Append(repro.JournalRecord{T: repro.RecCampaign, Name: "tlsreport"})
+		}
+		if *ckptDir == "" {
+			*ckptDir = journalPath + ".ckpt"
+		}
+	}
+	opt.CheckpointDir = *ckptDir
+	opt.CheckpointEvery = *ckptN
 	if *metrics {
 		opt.Metrics = new(repro.RunMetrics)
 	}
@@ -196,6 +240,15 @@ func main() {
 
 	if opt.Metrics != nil {
 		fmt.Fprintln(os.Stderr, "tlsreport "+opt.Metrics.Snapshot().String())
+	}
+	if sd.Interrupted() {
+		if journalPath != "" {
+			fmt.Fprintf(os.Stderr, "tlsreport: interrupted; resume with -resume %s\n", journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "tlsreport: interrupted (run with -journal to make campaigns resumable)")
+		}
+		stopProf()
+		os.Exit(repro.ExitInterrupted)
 	}
 	if len(failures) > 0 {
 		fmt.Fprint(os.Stderr, "tlsreport: "+repro.RenderFailureManifest(failures))

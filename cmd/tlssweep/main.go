@@ -18,7 +18,6 @@
 package main
 
 import (
-	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -40,6 +39,10 @@ func main() {
 		instr    = flag.Float64("instr", 0.1, "instruction scale")
 		jobsN    = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache", "", "persistent result-cache directory")
+		journalF = flag.String("journal", "", "append campaign progress to this JSONL journal (crash recovery via -resume)")
+		resumeF  = flag.String("resume", "", "resume a crashed or interrupted sweep from its journal (implies -journal)")
+		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
+		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 	)
 	flag.Parse()
 
@@ -126,7 +129,46 @@ func main() {
 		die(err)
 		runner.Cache = cache
 	}
-	results, err := runner.RunBatch(context.Background(), jobs)
+
+	// Graceful shutdown: first SIGINT/SIGTERM cancels the sweep (in-flight
+	// simulations checkpoint and drain, exit 130); a second hard-exits.
+	sd := repro.NewShutdown(nil)
+	defer sd.Stop()
+
+	journalPath := *journalF
+	if *resumeF != "" {
+		journalPath = *resumeF
+		st, err := repro.LoadCampaign(*resumeF)
+		die(err)
+		runner.Resume = st.Checkpoints
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "tlssweep: -resume without -cache re-runs completed jobs")
+		}
+	}
+	if journalPath != "" {
+		j, err := repro.OpenJournal(journalPath)
+		die(err)
+		defer j.Close()
+		runner.Journal = j
+		if *resumeF == "" {
+			j.Append(repro.JournalRecord{T: repro.RecCampaign, Name: "tlssweep"})
+		}
+		if *ckptDir == "" {
+			*ckptDir = journalPath + ".ckpt"
+		}
+	}
+	runner.CheckpointDir = *ckptDir
+	runner.CheckpointEvery = *ckptN
+
+	results, err := runner.RunBatch(sd.Context(), jobs)
+	if sd.Interrupted() {
+		if journalPath != "" {
+			fmt.Fprintf(os.Stderr, "tlssweep: interrupted; resume with -resume %s\n", journalPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "tlssweep: interrupted (run with -journal to make sweeps resumable)")
+		}
+		os.Exit(repro.ExitInterrupted)
+	}
 	die(err)
 
 	w := csv.NewWriter(os.Stdout)

@@ -1,0 +1,120 @@
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// This file is the checkpoint/restore surface of the kernel. A Queue cannot
+// serialize itself — pending events hold closures — so the simulator records
+// each pending occurrence as (tag, when, seq) plus the queue counters, and on
+// restore rebuilds the closures and re-inserts them with their original
+// sequence numbers. Because firing order is a total order on (when, seq),
+// a restored queue fires the exact same schedule as the original.
+
+// Seq returns the occurrence's sequence number, the tie-break half of the
+// (when, seq) firing order. Checkpoints record it so a restored occurrence
+// keeps its exact place in the schedule.
+func (h Handle) Seq() uint64 { return h.seq }
+
+// NextSeq returns the sequence number the next scheduled event will get.
+// Checkpoints record it so ScheduleAt can validate restored occurrences.
+func (q *Queue) NextSeq() uint64 { return q.nextSq }
+
+// RestoreClock sets the queue's clock and counters from a checkpoint. It is
+// only valid on an empty queue (restore re-inserts pending occurrences with
+// ScheduleAt afterwards).
+func (q *Queue) RestoreClock(now Time, nextSq, fired, compactions uint64) {
+	if q.live != 0 || len(q.heap) != 0 {
+		panic("event: RestoreClock on a non-empty queue")
+	}
+	q.now = now
+	q.nextSq = nextSq
+	q.fired = fired
+	q.compactions = compactions
+}
+
+// ScheduleAt re-inserts a checkpointed occurrence with its original absolute
+// time and sequence number. The occurrence must be from the checkpointed
+// schedule: its seq must predate the restored nextSq and its time must not be
+// in the past. Unlike At, ScheduleAt does not advance nextSq.
+func (q *Queue) ScheduleAt(when Time, seq uint64, fn func(now Time)) Handle {
+	if when < q.now {
+		panic(fmt.Sprintf("event: restoring occurrence at %d before now %d", when, q.now))
+	}
+	if seq >= q.nextSq {
+		panic(fmt.Sprintf("event: restoring occurrence seq %d >= nextSq %d", seq, q.nextSq))
+	}
+	e := q.free
+	if e != nil {
+		q.free = e.next
+		e.next = nil
+	} else {
+		e = new(Event)
+	}
+	e.when, e.seq, e.fn, e.canceled, e.index = when, seq, fn, false, -1
+	heap.Push(&q.heap, e)
+	q.live++
+	return Handle{e: e, seq: seq, when: when}
+}
+
+// Halt drains the queue without firing anything: every pending occurrence is
+// canceled and swept, so the next Step returns false and Run unwinds. The
+// simulator calls it after writing an interrupt checkpoint — the checkpoint
+// has already recorded the pending schedule, so discarding it is safe.
+func (q *Queue) Halt() {
+	for _, e := range q.heap {
+		if !e.canceled {
+			e.canceled = true
+			q.live--
+		}
+	}
+	if len(q.heap) > 0 {
+		q.compact()
+	}
+}
+
+// ResourceState is the serializable state of a Resource.
+type ResourceState struct {
+	BusyUntil Time
+	BusyTotal Time
+	Requests  uint64
+	Waited    Time
+}
+
+// State captures the resource for a checkpoint.
+func (r *Resource) State() ResourceState {
+	return ResourceState{
+		BusyUntil: r.busyUntil, BusyTotal: r.busyTotal,
+		Requests: r.requests, Waited: r.waited,
+	}
+}
+
+// RestoreState reinstates a checkpointed resource.
+func (r *Resource) RestoreState(s ResourceState) {
+	r.busyUntil = s.BusyUntil
+	r.busyTotal = s.BusyTotal
+	r.requests = s.Requests
+	r.waited = s.Waited
+}
+
+// State captures every bank for a checkpoint.
+func (b *Banks) State() []ResourceState {
+	out := make([]ResourceState, len(b.banks))
+	for i := range b.banks {
+		out[i] = b.banks[i].State()
+	}
+	return out
+}
+
+// RestoreState reinstates checkpointed banks; the count must match the
+// machine geometry the Banks were built with.
+func (b *Banks) RestoreState(states []ResourceState) error {
+	if len(states) != len(b.banks) {
+		return fmt.Errorf("event: restoring %d bank states into %d banks", len(states), len(b.banks))
+	}
+	for i := range states {
+		b.banks[i].RestoreState(states[i])
+	}
+	return nil
+}

@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -14,7 +16,8 @@ import (
 // cacheSchemaVersion invalidates every on-disk entry when the serialized
 // format — or the meaning of any Job input — changes incompatibly. Bump it
 // whenever sim.Result or the simulation semantics change.
-const cacheSchemaVersion = "exp-cache-v1"
+// v2: checksummed entries (Check over the payload bytes).
+const cacheSchemaVersion = "exp-cache-v2"
 
 // cacheVersion combines the schema version with the module's build version
 // so a rebuilt binary with different simulation code never serves stale
@@ -34,28 +37,84 @@ func cacheVersion() string {
 // job, keyed by the job's content hash plus the cache version. Entries for
 // jobs whose inputs change are simply never looked up again; delete the
 // directory to reclaim the space.
+//
+// The cache self-heals: every entry carries a CRC over its payload, and the
+// startup scan (NewCache) quarantines files that are truncated or corrupt —
+// the torn writes a kill -9 mid-campaign can leave — instead of erroring or
+// silently serving them.
 type Cache struct {
 	dir     string
 	version string
 }
 
-// NewCache opens (creating if necessary) a cache rooted at dir.
+// NewCache opens (creating if necessary) a cache rooted at dir and runs the
+// self-healing scan: stale temp files are removed and unreadable entries are
+// renamed aside with a ".quarantined" suffix so they are inspectable but can
+// never serve a hit.
 func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir, version: cacheVersion()}, nil
+	c := &Cache{dir: dir, version: cacheVersion()}
+	c.heal()
+	return c, nil
 }
 
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// cacheEntry is the on-disk record. Key and Version are stored so a hash
-// collision or a stale file can never masquerade as a hit.
+// heal is the startup scan. Failures to scan are deliberately swallowed: a
+// cache that cannot be healed still works as a cache (corrupt entries read
+// as misses); healing only keeps the directory tidy and observable.
+func (c *Cache) heal() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(c.dir, name)
+		switch {
+		case e.IsDir():
+		case strings.HasSuffix(name, ".tmp"):
+			// A writer died between CreateTemp and rename; the entry it was
+			// building was never published, so the temp is pure litter.
+			os.Remove(path)
+		case strings.HasSuffix(name, ".json"):
+			data, err := os.ReadFile(path)
+			if err != nil || !validEntryBytes(data) {
+				os.Rename(path, path+".quarantined")
+			}
+		}
+	}
+}
+
+// cacheEntry is the on-disk record: the payload's raw JSON plus a CRC-32C
+// over exactly those bytes, so truncation and bit rot are detected without
+// trusting the JSON decoder to notice.
 type cacheEntry struct {
+	Check   uint32          `json:"check"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// cachePayload is the checksummed content. Key and Version are stored so a
+// hash collision or a stale file can never masquerade as a hit.
+type cachePayload struct {
 	Key     string
 	Version string
 	Result  sim.Result
+}
+
+var cacheCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// validEntryBytes reports whether data parses as a well-formed, checksummed
+// entry (regardless of which job or cache version it belongs to).
+func validEntryBytes(data []byte) bool {
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Payload == nil {
+		return false
+	}
+	return crc32.Checksum(e.Payload, cacheCRC) == e.Check
 }
 
 // path derives the entry filename from the job hash and the cache version.
@@ -64,24 +123,38 @@ func (c *Cache) path(j Job) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
 }
 
-// Get returns the cached result for j, if a valid entry exists. Corrupt or
-// mismatched entries are treated as misses.
+// Get returns the cached result for j, if a valid entry exists. Corrupt,
+// checksum-failing, or mismatched entries are treated as misses.
 func (c *Cache) Get(j Job) (sim.Result, bool) {
 	data, err := os.ReadFile(c.path(j))
 	if err != nil {
 		return sim.Result{}, false
 	}
 	var e cacheEntry
-	if json.Unmarshal(data, &e) != nil || e.Key != j.Key() || e.Version != c.version {
+	if json.Unmarshal(data, &e) != nil || e.Payload == nil {
 		return sim.Result{}, false
 	}
-	return e.Result, true
+	if crc32.Checksum(e.Payload, cacheCRC) != e.Check {
+		return sim.Result{}, false
+	}
+	var p cachePayload
+	if json.Unmarshal(e.Payload, &p) != nil || p.Key != j.Key() || p.Version != c.version {
+		return sim.Result{}, false
+	}
+	return p.Result, true
 }
 
-// Put stores the result for j, atomically (write to a temp file, rename) so
-// concurrent workers and interrupted runs never leave a torn entry.
+// Put stores the result for j durably and atomically: the entry is written
+// to a temp file, fsync'd, renamed over the final name, and the directory is
+// fsync'd — so after Put returns, a crash (even kill -9 or power loss) leaves
+// either no entry or the complete entry, never a torn one, and a failed
+// rename cannot strand the temp file.
 func (c *Cache) Put(j Job, r sim.Result) error {
-	data, err := json.Marshal(cacheEntry{Key: j.Key(), Version: c.version, Result: r})
+	payload, err := json.Marshal(cachePayload{Key: j.Key(), Version: c.version, Result: r})
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(cacheEntry{Check: crc32.Checksum(payload, cacheCRC), Payload: payload})
 	if err != nil {
 		return err
 	}
@@ -94,9 +167,22 @@ func (c *Cache) Put(j Job, r sim.Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(j))
+	if err := os.Rename(tmp.Name(), c.path(j)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if d, err := os.Open(c.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

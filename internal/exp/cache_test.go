@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -100,6 +101,47 @@ func TestWarmBatchExecutesNothing(t *testing.T) {
 		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
 			t.Fatalf("job %d: cached result differs from executed result", i)
 		}
+	}
+}
+
+func TestCacheHealQuarantinesTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tinyJob()
+	want := j.Execute()
+	if err := c.Put(j, want); err != nil {
+		t.Fatal(err)
+	}
+	// Litter a kill -9 could leave: a stale temp from a dead writer and a
+	// torn (truncated) entry.
+	tmp := filepath.Join(dir, "put-12345.tmp")
+	torn := filepath.Join(dir, "deadbeefdeadbeef.json")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, []byte(`{"check":123,"payload":{"Key":"tr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived the healing scan")
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn entry still published under its original name")
+	}
+	if _, err := os.Stat(torn + ".quarantined"); err != nil {
+		t.Fatalf("torn entry not quarantined: %v", err)
+	}
+	// The valid entry survives healing untouched.
+	got, ok := c.Get(j)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatal("healing disturbed a valid entry")
 	}
 }
 

@@ -98,11 +98,11 @@ func (j Job) Label() string {
 	return fmt.Sprintf("%s/%s/%s seed %d", m, j.Profile.Name, k, j.Seed)
 }
 
-// Execute runs the simulation the job describes. It is a pure function of
-// the job's fields.
-func (j Job) Execute() sim.Result {
+// Build constructs (without running) the simulator the job describes, so a
+// caller can checkpoint, interrupt, or restore it before Run.
+func (j Job) Build() *sim.Simulator {
 	if j.Sequential {
-		return sim.RunSequential(j.Machine, j.Profile, j.Seed)
+		return sim.NewSequential(j.Machine, j.Profile, j.Seed)
 	}
 	s := sim.New(j.Machine, j.Scheme, workload.NewGenerator(j.Profile, j.Seed))
 	if j.Ablation.LineGranularity {
@@ -114,5 +114,11 @@ func (j Job) Execute() sim.Result {
 	if j.Ablation.ORBCommit {
 		s.SetORBCommit(true)
 	}
-	return s.Run()
+	return s
+}
+
+// Execute runs the simulation the job describes. It is a pure function of
+// the job's fields.
+func (j Job) Execute() sim.Result {
+	return j.Build().Run()
 }

@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The campaign journal is an append-only JSONL write-ahead log of a sweep's
+// progress: one record per line, fsync'd as written, so after any crash the
+// journal tells a resuming process which jobs completed (their results are
+// in the cache) and which were in flight (and where their latest checkpoint
+// lives). The log is the source of truth for -resume on the campaign CLIs.
+//
+// Crash consistency: a record is appended (and synced) strictly AFTER the
+// state it describes is durable — job-done after the cache Put returned,
+// checkpoint after WriteCheckpointFile renamed the file in place. A torn
+// final line (the process died mid-append) therefore never points at
+// missing state; readers tolerate and discard it, and OpenJournal truncates
+// it before appending so the log stays well-formed.
+
+// Journal record types.
+const (
+	RecCampaign   = "campaign"   // header: campaign name and metadata
+	RecJobStart   = "job-start"  // a worker began executing the job
+	RecCheckpoint = "checkpoint" // a checkpoint file for the job is durable
+	RecJobDone    = "job-done"   // the job finished (result cached, or Err)
+)
+
+// JournalRecord is one line of the campaign journal.
+type JournalRecord struct {
+	T string `json:"t"`
+	// Wall is the wall-clock append time (operational context only; nothing
+	// replays it).
+	Wall string `json:"wall,omitempty"`
+	// Name labels the campaign (RecCampaign).
+	Name string `json:"name,omitempty"`
+	// Key is the job's content hash — the join key against the result cache
+	// and checkpoint files.
+	Key   string `json:"key,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Ckpt is the durable checkpoint file (RecCheckpoint).
+	Ckpt string `json:"ckpt,omitempty"`
+	// Commits is the checkpoint's progress, for operators reading the log.
+	Commits int `json:"commits,omitempty"`
+	// Cached marks a job-done served from the cache without executing.
+	Cached bool `json:"cached,omitempty"`
+	// Err records a permanent failure (RecJobDone).
+	Err string `json:"err,omitempty"`
+	// Data carries an optional campaign-specific payload on job-done
+	// records (tlschaos stores the case outcome here, so a resume can
+	// rebuild its report without re-running completed cases).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an open campaign journal. Appends are serialized and each is
+// fsync'd before returning, so an acknowledged record survives kill -9.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if necessary) the journal at path for
+// appending. If the existing log ends in a torn line from a crashed writer,
+// the tail is truncated away first so the log stays one valid record per
+// line.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	end, err := completePrefixLen(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// completePrefixLen returns the byte length of f's longest prefix of
+// complete ('\n'-terminated) lines.
+func completePrefixLen(f *os.File) (int64, error) {
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return 0, err
+	}
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		return int64(i + 1), nil
+	}
+	return 0, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably writes one record: marshal, write the line, fsync. The
+// record is on disk when Append returns.
+func (j *Journal) Append(rec JournalRecord) error {
+	if rec.Wall == "" {
+		rec.Wall = time.Now().UTC().Format(time.RFC3339)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal reads every complete record in the journal at path. A torn
+// final line (crash mid-append) is silently discarded; a malformed interior
+// line is an error, because it means something other than a crashed
+// appender wrote the file.
+func ReadJournal(path string) ([]JournalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []JournalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was interior after all.
+			return nil, pendingErr
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Hold the error: if this turns out to be the last line, it is a
+			// torn tail and is forgiven.
+			pendingErr = fmt.Errorf("journal %s line %d: %w", path, lineNo, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CampaignState is the resume-relevant digest of a journal: which jobs
+// completed successfully, and the latest durable checkpoint of each job that
+// was still in flight.
+type CampaignState struct {
+	// Name is the campaign label from the header record, if any.
+	Name string
+	// Done holds the keys of jobs whose job-done record reported success;
+	// their results are in the cache (resume re-submits them and the cache
+	// answers instantly).
+	Done map[string]bool
+	// Checkpoints maps in-flight job keys to their latest checkpoint file.
+	Checkpoints map[string]string
+	// Failed maps job keys to the recorded error of a permanent failure.
+	Failed map[string]string
+}
+
+// ReplayJournal folds records into the state a resume needs.
+func ReplayJournal(recs []JournalRecord) CampaignState {
+	st := CampaignState{
+		Done:        make(map[string]bool),
+		Checkpoints: make(map[string]string),
+		Failed:      make(map[string]string),
+	}
+	for _, rec := range recs {
+		switch rec.T {
+		case RecCampaign:
+			st.Name = rec.Name
+		case RecCheckpoint:
+			if rec.Key != "" && rec.Ckpt != "" {
+				st.Checkpoints[rec.Key] = rec.Ckpt
+			}
+		case RecJobDone:
+			if rec.Key == "" {
+				break
+			}
+			if rec.Err == "" {
+				st.Done[rec.Key] = true
+				delete(st.Failed, rec.Key)
+			} else {
+				st.Failed[rec.Key] = rec.Err
+			}
+			delete(st.Checkpoints, rec.Key)
+		}
+	}
+	return st
+}
+
+// LoadCampaign reads and replays the journal at path.
+func LoadCampaign(path string) (CampaignState, error) {
+	recs, err := ReadJournal(path)
+	if err != nil {
+		return CampaignState{}, err
+	}
+	return ReplayJournal(recs), nil
+}

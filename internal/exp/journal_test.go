@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []JournalRecord{
+		{T: RecCampaign, Name: "test"},
+		{T: RecJobStart, Key: "k1", Label: "job one"},
+		{T: RecCheckpoint, Key: "k1", Ckpt: "/tmp/k1.ckpt", Commits: 40},
+		{T: RecJobDone, Key: "k1"},
+		{T: RecJobDone, Key: "k2", Err: "boom"},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Wall == "" {
+			t.Fatalf("record %d: Wall not stamped", i)
+		}
+		got[i].Wall = ""
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalTornTailForgivenAndTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(JournalRecord{T: RecJobStart, Key: "k1"})
+	j.Append(JournalRecord{T: RecJobDone, Key: "k1"})
+	j.Close()
+
+	// Simulate a crash mid-append: a partial, unterminated JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"job-start","key":"to`)
+	f.Close()
+
+	// Readers forgive the torn tail.
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail not forgiven: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+
+	// Reopening for append truncates it so the log stays well-formed.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(JournalRecord{T: RecJobStart, Key: "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, err = ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Key != "k2" {
+		t.Fatalf("after reopen+append: %+v", recs)
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), `"to`) {
+		t.Fatal("torn tail survived OpenJournal")
+	}
+}
+
+func TestJournalInteriorCorruptionErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	content := `{"t":"job-start","key":"k1"}
+not json at all
+{"t":"job-done","key":"k1"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("interior corruption read without error")
+	}
+}
+
+func TestReplayJournal(t *testing.T) {
+	st := ReplayJournal([]JournalRecord{
+		{T: RecCampaign, Name: "sweep"},
+		{T: RecJobStart, Key: "a"},
+		{T: RecCheckpoint, Key: "a", Ckpt: "a1.ckpt"},
+		{T: RecCheckpoint, Key: "a", Ckpt: "a2.ckpt"}, // latest wins
+		{T: RecJobStart, Key: "b"},
+		{T: RecCheckpoint, Key: "b", Ckpt: "b.ckpt"},
+		{T: RecJobDone, Key: "b"}, // done: checkpoint forgotten
+		{T: RecJobDone, Key: "c", Err: "panic"},
+		{T: RecJobDone, Key: "c"}, // a later success clears the failure
+	})
+	if st.Name != "sweep" {
+		t.Fatalf("campaign name %q", st.Name)
+	}
+	if !st.Done["b"] || !st.Done["c"] || st.Done["a"] {
+		t.Fatalf("done set: %+v", st.Done)
+	}
+	if got := st.Checkpoints["a"]; got != "a2.ckpt" {
+		t.Fatalf("checkpoint for a: %q, want a2.ckpt", got)
+	}
+	if _, ok := st.Checkpoints["b"]; ok {
+		t.Fatal("completed job kept its checkpoint")
+	}
+	if len(st.Failed) != 0 {
+		t.Fatalf("failed set: %+v", st.Failed)
+	}
+}
+
+func TestLoadCampaignMissingFile(t *testing.T) {
+	if _, err := LoadCampaign(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("missing journal loaded without error")
+	}
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// resumeBatch is a batch big enough that an interrupt lands mid-campaign:
+// every scheme over a moderately sized workload.
+func resumeBatch() []Job {
+	prof := workload.Euler().Scale(0.1, 0.1, 0.25)
+	cfg := machine.NUMA16()
+	jobs := []Job{{Machine: cfg, Profile: prof, Seed: 3, Sequential: true}}
+	for _, sch := range core.AllSchemes() {
+		jobs = append(jobs, Job{Machine: cfg, Scheme: sch, Profile: prof, Seed: 3})
+	}
+	return jobs
+}
+
+// TestInterruptCheckpointResumeBatch is the in-process half of the crash
+// drill: cancel a batch mid-run, verify the journal's last word for the
+// interrupted jobs is a durable checkpoint, then resume from that state and
+// require results identical to an uninterrupted run.
+func TestInterruptCheckpointResumeBatch(t *testing.T) {
+	jobs := resumeBatch()
+	golden, err := (&Runner{Workers: 2}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	ckptDir := filepath.Join(dir, "ckpt")
+	cache, err := NewCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: run with a context that dies almost immediately. Workers
+	// drain at their next commit boundary, checkpointing as they go.
+	j1, err := OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r1 := &Runner{
+		Workers: 2, Cache: cache, Journal: j1,
+		CheckpointDir: ckptDir, CheckpointEvery: 10,
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	first, err := r1.RunBatch(ctx, jobs)
+	j1.Close()
+	if err == nil {
+		t.Skip("batch finished before the interrupt; nothing to resume")
+	}
+	interrupted := 0
+	for _, jr := range first {
+		if jr.Err != nil && (errors.Is(jr.Err, ErrJobInterrupted) || errors.Is(jr.Err, context.Canceled)) {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		t.Skip("no job was interrupted mid-run; nothing to resume")
+	}
+
+	// Phase 2: resume from the journal. Completed jobs come from the cache,
+	// in-flight ones restore from their checkpoints.
+	st, err := LoadCampaign(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, ck := range st.Checkpoints {
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("journal names checkpoint %s for %s but it is not durable: %v", ck, key, err)
+		}
+	}
+	j2, err := OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := &Runner{
+		Workers: 2, Cache: cache, Journal: j2,
+		CheckpointDir: ckptDir, CheckpointEvery: 10,
+		Resume: st.Checkpoints,
+	}
+	second, err := r2.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if second[i].Err != nil {
+			t.Fatalf("resumed job %d failed: %v", i, second[i].Err)
+		}
+		if !reflect.DeepEqual(second[i].Result, golden[i].Result) {
+			t.Fatalf("job %d (%s): resumed result differs from uninterrupted run",
+				i, jobs[i].Label())
+		}
+	}
+}
+
+// TestCrashRecoverySIGKILL is the full crash drill of the issue: a child
+// process runs the sweep with journal + cache + checkpoints, the parent
+// SIGKILLs it at randomized (seeded) points, and resumed reruns must
+// converge on a final report byte-identical to an uninterrupted run's.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes; skipped with -short")
+	}
+	jobs := resumeBatch()
+	golden, err := (&Runner{Workers: 2}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenBytes, err := reportBytes(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.json")
+	rng := rand.New(rand.NewSource(42))
+	const maxKills = 6
+	kills := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > maxKills+2 {
+			t.Fatalf("campaign did not complete after %d attempts", attempt)
+		}
+		cmd := exec.Command(os.Args[0], "-test.run=TestCrashRecoveryChild$")
+		cmd.Env = append(os.Environ(), "EXP_CRASH_CHILD=1", "EXP_CRASH_DIR="+dir)
+		out, done := &cmdOutput{}, make(chan error, 1)
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go func() { done <- cmd.Wait() }()
+		if kills < maxKills {
+			// SIGKILL at a randomized point inside the campaign window —
+			// early kills land mid-first-job, late ones mid-batch.
+			delay := time.Duration(20+rng.Intn(400)) * time.Millisecond
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("child failed on its own: %v\n%s", err, out.String())
+				}
+				// Finished before the kill fired: campaign complete.
+			case <-time.After(delay):
+				kills++
+				cmd.Process.Kill()
+				<-done
+				continue
+			}
+		} else if err := <-done; err != nil {
+			t.Fatalf("uninterrupted child failed: %v\n%s", err, out.String())
+		}
+		break
+	}
+	if kills == 0 {
+		t.Log("child always finished before the kill; crash path not exercised this run")
+	}
+
+	resumed, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("child reported success but wrote no report: %v", err)
+	}
+	if string(resumed) != string(goldenBytes) {
+		t.Fatalf("report after %d SIGKILL/resume cycles differs from uninterrupted run:\ngot  %s\nwant %s",
+			kills, resumed, goldenBytes)
+	}
+}
+
+// TestCrashRecoveryChild is the re-exec helper for TestCrashRecoverySIGKILL:
+// one resume attempt of the fixed campaign. It is a no-op under normal `go
+// test` runs.
+func TestCrashRecoveryChild(t *testing.T) {
+	if os.Getenv("EXP_CRASH_CHILD") == "" {
+		t.Skip("helper for TestCrashRecoverySIGKILL")
+	}
+	dir := os.Getenv("EXP_CRASH_DIR")
+	jobs := resumeBatch()
+	cache, err := NewCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	resume := map[string]string{}
+	if _, err := os.Stat(journalPath); err == nil {
+		st, err := LoadCampaign(journalPath)
+		if err != nil {
+			t.Fatalf("journal left by SIGKILL unreadable: %v", err)
+		}
+		resume = st.Checkpoints
+	}
+	j, err := OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	r := &Runner{
+		Workers: 2, Cache: cache, Journal: j,
+		CheckpointDir: filepath.Join(dir, "ckpt"), CheckpointEvery: 10,
+		Resume: resume,
+	}
+	results, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d failed: %v", i, jr.Err)
+		}
+	}
+	data, err := reportBytes(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reportBytes renders a batch as the canonical "final report" the crash
+// drill compares: every job's full Result, in submission order.
+func reportBytes(results []JobResult) ([]byte, error) {
+	rs := make([]sim.Result, len(results))
+	for i, jr := range results {
+		rs[i] = jr.Result
+	}
+	return json.MarshalIndent(rs, "", " ")
+}
+
+// cmdOutput buffers child output for failure messages.
+type cmdOutput struct{ data []byte }
+
+func (c *cmdOutput) Write(p []byte) (int, error) { c.data = append(c.data, p...); return len(p), nil }
+func (c *cmdOutput) String() string              { return string(c.data) }

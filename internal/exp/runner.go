@@ -2,11 +2,15 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -15,6 +19,11 @@ import (
 // ErrJobTimeout reports a simulation the watchdog cancelled because it
 // exceeded the runner's per-job deadline. Test with errors.Is.
 var ErrJobTimeout = errors.New("job deadline exceeded")
+
+// ErrJobInterrupted reports a simulation halted mid-run by a graceful
+// shutdown: its latest checkpoint (if checkpointing is on) is durable and a
+// -resume continues it. Test with errors.Is.
+var ErrJobInterrupted = errors.New("job interrupted")
 
 // ErrJobQuarantined reports a job skipped because an identical job (same
 // content hash) already failed permanently earlier in the run. Test with
@@ -76,6 +85,23 @@ type Runner struct {
 	// are serialized; completion order is nondeterministic.
 	Progress func(JobResult)
 
+	// Journal, when non-nil, receives the campaign WAL records: job-start
+	// when a worker begins executing, checkpoint after each checkpoint file
+	// is durable, job-done after the result is cached (or the job failed).
+	Journal *Journal
+	// CheckpointDir, when set, is where executing jobs persist checkpoints
+	// (<dir>/<key>.ckpt, atomically replaced). Checkpoints are written every
+	// CheckpointEvery commits, plus once at interrupt; the file is removed
+	// when the job completes. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the auto-checkpoint cadence in committed tasks.
+	CheckpointEvery int
+	// Resume maps job keys to checkpoint files from a previous campaign's
+	// journal; a matching job restores from its checkpoint instead of
+	// starting over. An unreadable or mismatched checkpoint falls back to a
+	// fresh run (resume is best-effort, never an error source).
+	Resume map[string]string
+
 	// execOverride replaces Job.Execute in tests (e.g. with a function that
 	// hangs, to exercise the watchdog).
 	execOverride func(Job) sim.Result
@@ -84,6 +110,14 @@ type Runner struct {
 
 	qmu        sync.Mutex
 	quarantine map[string]error // job Key -> first permanent failure
+
+	// In-flight simulations, for graceful shutdown: when the batch context
+	// dies, every registered simulator is Interrupted so it checkpoints at
+	// its next commit and unwinds instead of running to completion.
+	imu         sync.Mutex
+	inflight    map[int]*sim.Simulator
+	inflightSeq int
+	draining    bool
 }
 
 func (r *Runner) workers(jobs int) int {
@@ -129,6 +163,19 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]JobResult, error) 
 	}
 	out := make([]JobResult, len(jobs))
 	started := make([]bool, len(jobs))
+
+	// Graceful shutdown: the moment ctx dies, interrupt every in-flight
+	// simulation so workers drain at the next commit boundary (writing their
+	// final checkpoints) instead of finishing multi-minute runs.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.interruptInflight()
+		case <-watchDone:
+		}
+	}()
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -184,9 +231,11 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	if r.Cache != nil {
 		if res, ok := r.Cache.Get(j); ok {
 			jr.Result, jr.Cached = res, true
+			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Cached: true})
 			return jr
 		}
 	}
+	r.journalAppend(JournalRecord{T: RecJobStart, Key: j.Key(), Label: j.Label()})
 	start := time.Now()
 	maxAttempts := 1 + r.retries()
 	for jr.Attempts = 1; ; jr.Attempts++ {
@@ -200,6 +249,12 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 					r.Metrics.cachePutFailed()
 				}
 			}
+			// Journal job-done only after the result is durable, then drop
+			// the now-obsolete checkpoint.
+			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label()})
+			if r.CheckpointDir != "" {
+				os.Remove(filepath.Join(r.CheckpointDir, j.Key()+".ckpt"))
+			}
 			break
 		}
 		jr.Err = err
@@ -208,13 +263,18 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 			// no retry, and identical jobs are quarantined.
 			jr.TimedOut = true
 			r.quarantineJob(j, err)
+			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Err: err.Error()})
 			break
 		}
-		if ctx.Err() != nil {
-			break // cancelled mid-retry; not the job's fault, no quarantine
+		if errors.Is(err, ErrJobInterrupted) || ctx.Err() != nil {
+			// Shutdown, not the job's fault: no quarantine, no job-done
+			// record — the journal's last word stays the checkpoint, which
+			// is exactly what -resume needs.
+			break
 		}
 		if jr.Attempts >= maxAttempts {
 			r.quarantineJob(j, err)
+			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Err: err.Error()})
 			break
 		}
 		if !r.backoff(ctx, jr.Attempts) {
@@ -225,11 +285,92 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	return jr
 }
 
+// journalAppend writes a WAL record, surfacing write failures as metrics
+// (the campaign itself must survive a full disk).
+func (r *Runner) journalAppend(rec JournalRecord) {
+	if r.Journal == nil {
+		return
+	}
+	if err := r.Journal.Append(rec); err != nil && r.Metrics != nil {
+		r.Metrics.cachePutFailed()
+	}
+}
+
+// jobRun is one prepared attempt: the function to execute and, when the
+// checkpointing path is active, the live simulator handle the watchdog and
+// the shutdown path can Interrupt. escalate flags a watchdog timeout so the
+// sink, which may fire later on the abandoned goroutine, knows to write the
+// post-mortem dump instead of a resumable checkpoint.
+type jobRun struct {
+	sim      *sim.Simulator
+	escalate atomic.Bool
+	run      func() (sim.Result, error)
+}
+
+// prepare builds one attempt. With no checkpointing, resume map, or journal
+// involvement the job runs through the classic Execute path, byte-identical
+// to a runner without any of this machinery.
+func (r *Runner) prepare(j Job) *jobRun {
+	if r.execOverride != nil || (r.CheckpointDir == "" && len(r.Resume) == 0) {
+		return &jobRun{run: func() (sim.Result, error) { return runIsolated(j, r.execOverride) }}
+	}
+	s := j.Build()
+	if path, ok := r.Resume[j.Key()]; ok {
+		if ck, err := sim.ReadCheckpointFile(path); err == nil {
+			if rerr := s.Restore(ck); rerr != nil {
+				s = j.Build() // mismatched checkpoint: start over
+			}
+		}
+	}
+	jr := &jobRun{sim: s}
+	if r.CheckpointDir != "" {
+		os.MkdirAll(r.CheckpointDir, 0o755)
+		ckPath := filepath.Join(r.CheckpointDir, j.Key()+".ckpt")
+		if r.CheckpointEvery > 0 {
+			s.SetAutoCheckpoint(r.CheckpointEvery)
+		}
+		s.SetCheckpointSink(func(ck *sim.Checkpoint) {
+			path := ckPath
+			if jr.escalate.Load() {
+				// Watchdog escalation: this is the post-mortem of a stuck
+				// job. Park the checkpoint under a distinct name (the job is
+				// quarantined, not resumed) and dump a progress report.
+				path = filepath.Join(r.CheckpointDir, j.Key()+".stuck.ckpt")
+				r.dumpProgress(j, s)
+			}
+			if err := sim.WriteCheckpointFile(path, ck); err == nil {
+				r.journalAppend(JournalRecord{
+					T: RecCheckpoint, Key: j.Key(), Label: j.Label(),
+					Ckpt: path, Commits: ck.Commits,
+				})
+			}
+		})
+	}
+	jr.run = func() (res sim.Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
+			}
+		}()
+		res = s.Run()
+		if s.Halted() {
+			return sim.Result{}, fmt.Errorf("job %s: %w", j.Label(), ErrJobInterrupted)
+		}
+		return res, nil
+	}
+	return jr
+}
+
 // attempt executes one try of the job, under the watchdog when a deadline
 // is configured.
 func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
+	jr := r.prepare(j)
+	if jr.sim != nil {
+		id := r.track(jr.sim)
+		defer r.untrack(id)
+	}
 	if r.JobTimeout <= 0 {
-		return runIsolated(j, r.execOverride)
+		return jr.run()
 	}
 	type outcome struct {
 		res sim.Result
@@ -237,7 +378,7 @@ func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := runIsolated(j, r.execOverride)
+		res, err := jr.run()
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(r.JobTimeout)
@@ -248,10 +389,62 @@ func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
 	case <-timer.C:
 		// The attempt goroutine is abandoned: a stuck simulation cannot be
 		// preempted, only disowned. The buffered channel lets it exit
-		// quietly if it ever finishes.
+		// quietly if it ever finishes. On the checkpointing path we can do
+		// better: escalate, so that if the run ever reaches another commit
+		// it dumps a checkpoint + progress report for post-mortem replay and
+		// unwinds instead of leaking.
+		if jr.sim != nil {
+			jr.escalate.Store(true)
+			jr.sim.Interrupt()
+		}
 		return sim.Result{}, fmt.Errorf("job %s: %w (deadline %s)", j.Label(), ErrJobTimeout, r.JobTimeout)
 	case <-ctx.Done():
+		if jr.sim != nil {
+			jr.sim.Interrupt()
+		}
 		return sim.Result{}, fmt.Errorf("job %s: %w", j.Label(), ctx.Err())
+	}
+}
+
+// dumpProgress writes the watchdog post-mortem: where the stuck run was.
+// Called from the simulation's own goroutine (inside the checkpoint sink).
+func (r *Runner) dumpProgress(j Job, s *sim.Simulator) {
+	data, err := json.MarshalIndent(s.ProgressReport(), "", "  ")
+	if err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(r.CheckpointDir, j.Key()+".progress.json"), data, 0o644)
+}
+
+// track registers an executing simulation for shutdown interrupts.
+func (r *Runner) track(s *sim.Simulator) int {
+	r.imu.Lock()
+	defer r.imu.Unlock()
+	if r.inflight == nil {
+		r.inflight = make(map[int]*sim.Simulator)
+	}
+	r.inflightSeq++
+	r.inflight[r.inflightSeq] = s
+	if r.draining {
+		s.Interrupt() // the batch is already shutting down
+	}
+	return r.inflightSeq
+}
+
+// untrack removes a finished simulation from the shutdown registry.
+func (r *Runner) untrack(id int) {
+	r.imu.Lock()
+	defer r.imu.Unlock()
+	delete(r.inflight, id)
+}
+
+// interruptInflight asks every executing simulation to checkpoint and stop.
+func (r *Runner) interruptInflight() {
+	r.imu.Lock()
+	defer r.imu.Unlock()
+	r.draining = true
+	for _, s := range r.inflight {
+		s.Interrupt()
 	}
 }
 

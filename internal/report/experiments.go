@@ -53,6 +53,30 @@ type Options struct {
 	// RetryBackoff is the delay before re-running a crashed simulation
 	// (doubling per retry); 0 retries immediately.
 	RetryBackoff time.Duration
+	// Context, when non-nil, bounds every sweep run with these options:
+	// cancelling it makes in-flight simulations checkpoint and stop (the
+	// graceful-shutdown path). Nil means background.
+	Context context.Context
+	// Journal, when non-nil, receives the campaign WAL (job-start,
+	// checkpoint, job-done records) for crash recovery via -resume.
+	Journal *exp.Journal
+	// CheckpointDir enables mid-run simulator checkpoints under that
+	// directory, written every CheckpointEvery commits and at interrupts.
+	CheckpointDir string
+	// CheckpointEvery is the auto-checkpoint cadence in committed tasks
+	// (0 with a CheckpointDir still checkpoints at interrupts).
+	CheckpointEvery int
+	// Resume maps job keys to checkpoint files recovered from a previous
+	// campaign's journal (exp.CampaignState.Checkpoints).
+	Resume map[string]string
+}
+
+// ctx returns the sweep-bounding context.
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // runner builds the exp worker pool these options describe.
@@ -64,6 +88,9 @@ func (o *Options) runner() *exp.Runner {
 	r := &exp.Runner{
 		Workers: workers, Metrics: o.Metrics,
 		JobTimeout: o.JobTimeout, RetryBackoff: o.RetryBackoff,
+		Journal:       o.Journal,
+		CheckpointDir: o.CheckpointDir, CheckpointEvery: o.CheckpointEvery,
+		Resume: o.Resume,
 	}
 	if o.CacheDir != "" {
 		if c, err := exp.NewCache(o.CacheDir); err == nil {
@@ -163,7 +190,7 @@ func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 			jobs = append(jobs, exp.Job{Machine: cfg, Scheme: sch, Profile: prof, Seed: opt.seed()})
 		}
 	}
-	results, _ := opt.runner().RunBatch(context.Background(), jobs)
+	results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
 	g.Failures = exp.CollectFailures(results)
 
 	// The first len(apps) results are the sequential baselines.
@@ -225,7 +252,7 @@ func Figure10(opt Options) (*Grid, Cell) {
 			{Machine: machine.NUMA16(), Profile: prof, Seed: opt.seed(), Sequential: true},
 			{Machine: machine.NUMA16BigL2(), Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()},
 		}
-		results, _ := opt.runner().RunBatch(context.Background(), jobs)
+		results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
 		if results[0].Err != nil || results[1].Err != nil {
 			g.Failures = append(g.Failures, exp.CollectFailures(results)...)
 			for _, jr := range results {
@@ -273,7 +300,7 @@ func Characterize(opt Options) []AppCharacterization {
 			exp.Job{Machine: cmp8, Scheme: core.MultiTMVEager, Profile: prof, Seed: opt.seed()},
 			exp.Job{Machine: numa16, Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()})
 	}
-	results, _ := opt.runner().RunBatch(context.Background(), jobs)
+	results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
 
 	out := make([]AppCharacterization, len(apps))
 	for i, prof := range apps {

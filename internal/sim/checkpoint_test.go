@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// captureAt runs the simulation with an auto-checkpoint every `every`
+// commits, keeping the first checkpoint delivered, and returns it together
+// with the run's result. The checkpoint is pushed through the binary codec,
+// exactly as a resume in a fresh process would receive it.
+func captureAt(t *testing.T, build func() *Simulator, every int) (*Checkpoint, Result) {
+	t.Helper()
+	s := build()
+	var ck *Checkpoint
+	s.SetAutoCheckpoint(every)
+	s.SetCheckpointSink(func(c *Checkpoint) {
+		if ck == nil {
+			ck = c
+		}
+	})
+	res := s.Run()
+	if ck == nil {
+		t.Fatalf("%s/%v: no checkpoint captured (every=%d, %d commits)",
+			s.cfg.Name, s.scheme, every, res.Commits)
+	}
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return decoded, res
+}
+
+// The tentpole acceptance test: for every app × design point on NUMA16,
+// checkpoint at a mid-run commit, restore into a fresh simulator through the
+// full binary codec (a fresh-process image of the state), and require the
+// resumed run's Result to be deeply identical to the uninterrupted run's.
+// The checkpointed run itself must also equal the checkpoint-free run:
+// snapshotting must not perturb timing.
+func TestCheckpointEquivalenceAllAppsAllSchemes(t *testing.T) {
+	mach := machine.NUMA16()
+	for _, app := range workload.Apps() {
+		p := app.Scale(0.1, 0.1, 0.25)
+		for _, sch := range core.AllSchemes() {
+			golden := Run(mach, sch, p, 99)
+			build := func() *Simulator {
+				return New(mach, sch, workload.NewGenerator(p, 99))
+			}
+			ck, withCkpt := captureAt(t, build, max(1, golden.Commits/2))
+			if !reflect.DeepEqual(golden, withCkpt) {
+				t.Errorf("%s/%v/%s: taking a checkpoint perturbed the run", mach.Name, sch, p.Name)
+				continue
+			}
+			resumed := build()
+			if err := resumed.Restore(ck); err != nil {
+				t.Errorf("%s/%v/%s: restore: %v", mach.Name, sch, p.Name, err)
+				continue
+			}
+			got := resumed.Run()
+			if !reflect.DeepEqual(golden, got) {
+				t.Errorf("%s/%v/%s: resumed result differs from uninterrupted run (%d vs %d cycles)",
+					mach.Name, sch, p.Name, got.ExecCycles, golden.ExecCycles)
+			}
+		}
+	}
+}
+
+// Interrupt must stop the run at the next commit boundary, hand the sink a
+// final checkpoint, and leave Run returning a zero Result with Halted()
+// set; resuming from that checkpoint completes the run bit-identically.
+func TestInterruptCheckpointResume(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	build := func() *Simulator {
+		return New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	}
+	golden := build().Run()
+
+	s := build()
+	var last *Checkpoint
+	calls := 0
+	s.SetAutoCheckpoint(1)
+	s.SetCheckpointSink(func(c *Checkpoint) {
+		last = c
+		calls++
+		if calls == 5 {
+			s.Interrupt()
+		}
+	})
+	res := s.Run()
+	if !s.Halted() {
+		t.Fatal("interrupted run did not report Halted")
+	}
+	if res.Commits != 0 || res.ExecCycles != 0 {
+		t.Fatalf("interrupted run returned a non-zero result: %+v", res)
+	}
+	if last == nil || last.Commits < 5 {
+		t.Fatalf("expected an interrupt checkpoint after commit 5, got %+v", last)
+	}
+
+	resumed := build()
+	if err := resumed.Restore(last); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got := resumed.Run()
+	if !reflect.DeepEqual(golden, got) {
+		t.Errorf("resume after interrupt differs from uninterrupted run (%d vs %d cycles)",
+			got.ExecCycles, golden.ExecCycles)
+	}
+}
+
+// Sequential-baseline simulators checkpoint and restore like any other run.
+func TestCheckpointSequentialBaseline(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Tree().Scale(0.1, 0.1, 0.25)
+	golden := RunSequential(mach, p, 99)
+	build := func() *Simulator { return NewSequential(mach, p, 99) }
+	ck, _ := captureAt(t, build, max(1, golden.Commits/2))
+	resumed := build()
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := resumed.Run(); !reflect.DeepEqual(golden, got) {
+		t.Errorf("resumed sequential baseline differs from uninterrupted run")
+	}
+}
+
+// A run with a fault injector checkpoints the plan's decision stream too:
+// the resumed run replays the identical fault schedule.
+func TestCheckpointWithFaultInjector(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	fcfg := fault.Config{Seed: 7, SquashProb: 0.02, DelayProb: 0.05, DelayCycles: 40, StallProb: 0.05, StallCycles: 30}
+	build := func() *Simulator {
+		s := New(mach, core.MultiTMVEager, workload.NewGenerator(p, 99))
+		s.InjectFaults(fault.NewPlan(fcfg))
+		return s
+	}
+	golden := build().Run()
+	ck, withCkpt := captureAt(t, build, max(1, golden.Commits/2))
+	if !reflect.DeepEqual(golden, withCkpt) {
+		t.Fatal("taking a checkpoint perturbed the injected run")
+	}
+	if !ck.HasInjector {
+		t.Fatal("checkpoint did not record the injector state")
+	}
+	resumed := build()
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := resumed.Run(); !reflect.DeepEqual(golden, got) {
+		t.Errorf("resumed injected run differs from uninterrupted run")
+	}
+
+	// Restoring an injected checkpoint without installing the injector, or
+	// into a run that has one when the checkpoint does not, must fail loudly.
+	bare := New(mach, core.MultiTMVEager, workload.NewGenerator(p, 99))
+	if err := bare.Restore(ck); err == nil {
+		t.Error("restore without the injector unexpectedly succeeded")
+	}
+}
+
+// Restore validates the checkpoint's identity against the simulator.
+func TestRestoreIdentityMismatch(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	build := func() *Simulator {
+		return New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	}
+	ck, _ := captureAt(t, build, 3)
+
+	wrongScheme := New(mach, core.MultiTMVEager, workload.NewGenerator(p, 99))
+	if err := wrongScheme.Restore(ck); err == nil {
+		t.Error("restore into a different scheme unexpectedly succeeded")
+	}
+	wrongMachine := New(machine.CMP8(), core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	if err := wrongMachine.Restore(ck); err == nil {
+		t.Error("restore into a different machine unexpectedly succeeded")
+	}
+	ran := build()
+	ran.Run()
+	if err := ran.Restore(ck); err == nil {
+		t.Error("restore into an already-run simulator unexpectedly succeeded")
+	}
+}
+
+// The codec distinguishes truncation, corruption, and version mismatches.
+func TestCheckpointCodecErrors(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	build := func() *Simulator {
+		return New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	}
+	ck, _ := captureAt(t, build, 3)
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := DecodeCheckpoint(bytes.NewReader(raw[:10])); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Errorf("truncated header: got %v, want ErrCheckpointTruncated", err)
+	}
+	if _, err := DecodeCheckpoint(bytes.NewReader(raw[:len(raw)/2])); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Errorf("truncated payload: got %v, want ErrCheckpointTruncated", err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := DecodeCheckpoint(bytes.NewReader(flipped)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("flipped payload byte: got %v, want ErrCheckpointCorrupt", err)
+	}
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] = 'X'
+	if _, err := DecodeCheckpoint(bytes.NewReader(badMagic)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("bad magic: got %v, want ErrCheckpointCorrupt", err)
+	}
+	badVersion := append([]byte(nil), raw...)
+	badVersion[7] = CheckpointVersion + 1
+	if _, err := DecodeCheckpoint(bytes.NewReader(badVersion)); !errors.Is(err, ErrCheckpointVersion) {
+		t.Errorf("future version: got %v, want ErrCheckpointVersion", err)
+	}
+}
+
+// WriteCheckpointFile persists atomically and ReadCheckpointFile detects a
+// torn tail (the kill -9 mid-write case).
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	build := func() *Simulator {
+		return New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	}
+	golden := build().Run()
+	ck, _ := captureAt(t, build, max(1, golden.Commits/2))
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+	if err := WriteCheckpointFile(path, ck); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	resumed := build()
+	if err := resumed.Restore(loaded); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := resumed.Run(); !reflect.DeepEqual(golden, got) {
+		t.Errorf("file round-trip resume differs from uninterrupted run")
+	}
+
+	// No temp litter after a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("cache dir has %d entries after write, want 1", len(entries))
+	}
+
+	// Torn write: truncate the file and expect a typed, path-bearing error.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); !errors.Is(err, ErrCheckpointTruncated) {
+		t.Errorf("torn file: got %v, want ErrCheckpointTruncated", err)
+	}
+}
+
+// ProgressReport (taken inside the sink, on the simulation goroutine)
+// describes where the run is — the watchdog post-mortem payload.
+func TestProgressReport(t *testing.T) {
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	s := New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	var rep ProgressReport
+	got := false
+	s.SetAutoCheckpoint(3)
+	s.SetCheckpointSink(func(*Checkpoint) {
+		if !got {
+			rep = s.ProgressReport()
+			got = true
+		}
+	})
+	s.Run()
+	if !got {
+		t.Fatal("sink never fired")
+	}
+	if rep.Machine != mach.Name || rep.App != p.Name {
+		t.Errorf("report identity wrong: %+v", rep)
+	}
+	if rep.Cycle == 0 || rep.Commits == 0 || len(rep.Procs) != mach.Procs {
+		t.Errorf("report not mid-run shaped: cycle=%d commits=%d procs=%d",
+			rep.Cycle, rep.Commits, len(rep.Procs))
+	}
+}

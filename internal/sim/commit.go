@@ -37,7 +37,7 @@ func (s *Simulator) maybeCommit(now event.Time) {
 		// the committing task is always s.committing when the event fires.
 		s.commitDone = func(done event.Time) { s.finishCommit(s.committing, done) }
 	}
-	s.q.At(start+dur, s.commitDone)
+	s.commitHandle = s.q.At(start+dur, s.commitDone)
 }
 
 // commitDuration is the time the task holds the commit token.
@@ -204,6 +204,10 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 		}
 	}
 	s.maybeCommit(now)
+	// Commit boundary: the pending schedule is fully described by the
+	// simulator's own bookkeeping, so this is where checkpoints are taken
+	// and interrupts serviced (a no-op for runs without a sink).
+	s.afterCommit()
 }
 
 // finishSection ends the run. Committed versions still lingering in caches

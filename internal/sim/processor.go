@@ -22,6 +22,24 @@ const (
 	waitIdle              // no tasks left to run
 )
 
+func (w waitKind) String() string {
+	switch w {
+	case waitNone:
+		return "running"
+	case waitToken:
+		return "token"
+	case waitVersion:
+		return "version"
+	case waitCommit:
+		return "commit"
+	case waitRecovery:
+		return "recovery"
+	case waitIdle:
+		return "idle"
+	}
+	return "unknown"
+}
+
 func (w waitKind) charge(bd *stats.Breakdown, dt event.Time) {
 	switch w {
 	case waitToken, waitVersion:
@@ -61,9 +79,11 @@ type processor struct {
 
 	// scheduled is true while a continuation event is pending; cont is the
 	// processor's single continuation closure, built once in New so the
-	// per-event schedule path does not allocate.
-	scheduled bool
-	cont      func(now event.Time)
+	// per-event schedule path does not allocate. contHandle names the pending
+	// occurrence so a checkpoint can record its (when, seq).
+	scheduled  bool
+	cont       func(now event.Time)
+	contHandle event.Handle
 
 	opBuf []workload.Op
 }

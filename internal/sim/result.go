@@ -153,11 +153,18 @@ func Run(cfg *machine.Config, scheme core.Scheme, prof workload.Profile, seed ui
 // machinery (no merges, no token, no versioning overheads beyond plain
 // caching).
 func RunSequential(cfg *machine.Config, prof workload.Profile, seed uint64) Result {
+	return NewSequential(cfg, prof, seed).Run()
+}
+
+// NewSequential builds (without running) the sequential-baseline simulator
+// RunSequential uses, so callers that checkpoint or interrupt runs can treat
+// baselines like any other simulation.
+func NewSequential(cfg *machine.Config, prof workload.Profile, seed uint64) *Simulator {
 	seq := machine.Sequential(cfg)
 	seq.CommitPerLine = 0
 	seq.CommitFixed = 0
 	seq.TokenPass = 0
 	seq.DispatchOverhead = 0
 	gen := workload.NewGenerator(prof, seed)
-	return New(seq, core.SingleTEager, gen).Run()
+	return New(seq, core.SingleTEager, gen)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -73,12 +74,22 @@ type Simulator struct {
 
 	committing   *task
 	commitDone   func(done event.Time)
+	commitHandle event.Handle // pending commit-done occurrence, for checkpoints
 	tokenFreeAt  event.Time
 	lastCommitBy ids.ProcID
 	waiters      map[ids.TaskID][]*processor
 
 	done    bool
 	endTime event.Time
+
+	// Checkpoint/interrupt plumbing (see checkpoint.go). started guards
+	// against double Run and marks a restored simulator; halted is set when
+	// an Interrupt stopped the run at a commit boundary.
+	started   bool
+	halted    bool
+	interrupt atomic.Bool
+	ckptEvery int
+	ckptSink  func(*Checkpoint)
 
 	// Verification: committed communication reads checked against the
 	// sequential-order oracle.
@@ -170,18 +181,27 @@ func (s *Simulator) schedule(p *processor, at event.Time) {
 		return
 	}
 	p.scheduled = true
-	s.q.At(at, p.cont)
+	p.contHandle = s.q.At(at, p.cont)
 }
 
-// Run executes the section to completion and returns the results.
+// Run executes the section to completion and returns the results. On a
+// simulator primed by Restore it continues from the checkpoint instead of
+// starting fresh. When an Interrupt halts the run, Run returns a zero
+// Result; check Halted().
 func (s *Simulator) Run() Result {
-	s.specSampler.Observe(0, 0)
-	for _, p := range s.procs {
-		s.schedule(p, 0)
+	if !s.started {
+		s.started = true
+		s.specSampler.Observe(0, 0)
+		for _, p := range s.procs {
+			s.schedule(p, 0)
+		}
 	}
 	// Run(limit) with limit > 0 is a budget: a return value equal to the
 	// limit means the budget was exhausted, not that the queue drained.
 	fired := s.q.Run(eventLimit)
+	if s.halted {
+		return Result{}
+	}
 	if !s.done {
 		reason := "deadlocked"
 		if fired >= eventLimit {

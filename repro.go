@@ -249,6 +249,44 @@ func RenderFailureManifest(failures []JobFailure) string {
 // version, so a warm rerun only re-simulates what changed.
 func NewResultCache(dir string) (*ResultCache, error) { return exp.NewCache(dir) }
 
+// Crash-safe campaigns: the journal WAL, its replayed digest, and the
+// graceful-shutdown controller behind the CLIs' -resume flags.
+type (
+	// Journal is the append-only, fsync'd campaign write-ahead log.
+	Journal = exp.Journal
+	// JournalRecord is one line of the campaign journal.
+	JournalRecord = exp.JournalRecord
+	// CampaignState is the resume-relevant digest of a journal: completed
+	// jobs (results in the cache) and in-flight checkpoints.
+	CampaignState = exp.CampaignState
+	// Shutdown is the two-stage SIGINT/SIGTERM handler: first signal
+	// cancels the campaign context (workers checkpoint and drain), second
+	// hard-exits.
+	Shutdown = exp.Shutdown
+)
+
+// Journal record types, and the exit code of a gracefully interrupted
+// campaign (128 + SIGINT, the shell convention).
+const (
+	RecCampaign     = exp.RecCampaign
+	RecJobStart     = exp.RecJobStart
+	RecCheckpoint   = exp.RecCheckpoint
+	RecJobDone      = exp.RecJobDone
+	ExitInterrupted = exp.ExitInterrupted
+)
+
+// OpenJournal opens (creating if necessary) the campaign journal at path
+// for appending, truncating a torn final line left by a crashed writer.
+func OpenJournal(path string) (*Journal, error) { return exp.OpenJournal(path) }
+
+// LoadCampaign reads and replays the journal at path into the digest a
+// resumed campaign needs (completed job keys, latest checkpoints).
+func LoadCampaign(path string) (CampaignState, error) { return exp.LoadCampaign(path) }
+
+// NewShutdown installs the two-stage signal handler. Call Stop when the
+// campaign finishes to restore default signal behavior.
+func NewShutdown(parent context.Context) *Shutdown { return exp.NewShutdown(parent) }
+
 // RunBatch executes jobs on a default Runner (GOMAXPROCS workers, one panic
 // retry, no cache). Results are returned in submission order; they are
 // byte-identical to running each job serially.
