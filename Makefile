@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test fmt vet race chaos verify report bench bench-baseline
+.PHONY: build test fmt vet race chaos verify report bench bench-baseline trace
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ verify: fmt vet build test race
 # report regenerates every table and figure through the orchestrator.
 report:
 	$(GO) run ./cmd/tlsreport -metrics
+
+# trace emits a Perfetto trace of an observed run (exec/commit lanes,
+# counter tracks, squash flow arrows) and validates it against the
+# trace-event schema — the artifact CI uploads for ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/tlstrace -app Euler -machine cmp -perfetto trace.json
+	$(GO) run ./cmd/tlstrace -validate trace.json
 
 # bench runs the tlsbench hot-path suite and gates allocs/op against the
 # checked-in baseline (±30% band); ns/op and events/sec are informational.

@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -49,6 +50,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// chaosDone / chaosFailed are live campaign counts for the -listen
+// telemetry gauges; runAll's workers bump them as verdicts land.
+var chaosDone, chaosFailed atomic.Int64
 
 // chaosCase is one (seed, scheme) cell of the campaign grid.
 type chaosCase struct {
@@ -151,6 +156,7 @@ func main() {
 		resumeF  = flag.String("resume", "", "resume a crashed or interrupted campaign from its journal (implies -journal)")
 		ckptDirF = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt)")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
+		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 	)
 	flag.Parse()
 
@@ -197,6 +203,21 @@ func main() {
 	// second signal hard-exits.
 	sd := exp.NewShutdown(nil)
 	defer sd.Stop()
+
+	if *listenF != "" {
+		// tlschaos runs its own pool (no exp.Runner), so the endpoint is
+		// fed by gauges over the campaign counters.
+		tel := &exp.Telemetry{Name: "tlschaos"}
+		tel.AddGauge("chaos_cases_total", func() float64 { return float64(len(cases)) })
+		tel.AddGauge("chaos_cases_done", func() float64 { return float64(chaosDone.Load()) })
+		tel.AddGauge("chaos_cases_failed", func() float64 { return float64(chaosFailed.Load()) })
+		addr, err := tel.Start(*listenF)
+		if err != nil {
+			fatalf("listen: %v", err)
+		}
+		defer tel.Stop()
+		fmt.Fprintf(os.Stderr, "tlschaos: telemetry on http://%s/metrics\n", addr)
+	}
 
 	journalPath := *journalF
 	if *resumeF != "" {
@@ -443,6 +464,16 @@ func runAll(ctx context.Context, cmp *campaign, cases []chaosCase, cfg *machine.
 	out := make([]outcome, len(cases))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	// note feeds the -listen telemetry gauges as verdicts land.
+	note := func(o outcome) outcome {
+		if !o.Interrupted {
+			chaosDone.Add(1)
+			if o.failed(flips) {
+				chaosFailed.Add(1)
+			}
+		}
+		return o
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -450,12 +481,12 @@ func runAll(ctx context.Context, cmp *campaign, cases []chaosCase, cfg *machine.
 			for i := range idx {
 				c := cases[i]
 				if cmp == nil {
-					out[i] = runCase(ctx, nil, "", c, cfg, selection, deadline)
+					out[i] = note(runCase(ctx, nil, "", c, cfg, selection, deadline))
 					continue
 				}
 				key := cmp.key(c, cfg.Name)
 				if prev, done := cmp.done[key]; done {
-					out[i] = prev
+					out[i] = note(prev)
 					continue
 				}
 				if ctx.Err() != nil {
@@ -473,7 +504,7 @@ func runAll(ctx context.Context, cmp *campaign, cases []chaosCase, cfg *machine.
 					})
 					os.Remove(filepath.Join(cmp.ckptDir, key+".ckpt"))
 				}
-				out[i] = o
+				out[i] = note(o)
 			}
 		}()
 	}

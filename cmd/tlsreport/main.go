@@ -50,6 +50,7 @@ func main() {
 		resume  = flag.String("resume", "", "resume a crashed or interrupted campaign from its journal (implies -journal)")
 		ckptDir = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
 		ckptN   = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
+		listen  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 	)
 	flag.Parse()
 
@@ -115,8 +116,19 @@ func main() {
 	}
 	opt.CheckpointDir = *ckptDir
 	opt.CheckpointEvery = *ckptN
-	if *metrics {
+	if *metrics || *listen != "" {
 		opt.Metrics = new(repro.RunMetrics)
+	}
+	if *listen != "" {
+		tel := &repro.Telemetry{Name: "tlsreport", Metrics: opt.Metrics}
+		opt.JobObserver = tel.ObserveJob
+		addr, err := tel.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsreport: listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer tel.Stop()
+		fmt.Fprintf(os.Stderr, "tlsreport: telemetry on http://%s/metrics\n", addr)
 	}
 	if *apps != "" {
 		for _, name := range strings.Split(*apps, ",") {
@@ -238,7 +250,7 @@ func main() {
 		})
 	}
 
-	if opt.Metrics != nil {
+	if *metrics {
 		fmt.Fprintln(os.Stderr, "tlsreport "+opt.Metrics.Snapshot().String())
 	}
 	if sd.Interrupted() {

@@ -43,6 +43,7 @@ func main() {
 		resumeF  = flag.String("resume", "", "resume a crashed or interrupted sweep from its journal (implies -journal)")
 		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
+		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 	)
 	flag.Parse()
 
@@ -124,6 +125,22 @@ func main() {
 		}
 	}
 	runner := &repro.Runner{Workers: *jobsN}
+	if *listenF != "" {
+		runner.Metrics = new(repro.RunMetrics)
+		tel := &repro.Telemetry{Name: "tlssweep", Metrics: runner.Metrics}
+		runner.Progress = tel.ObserveJob
+		// Each job gets its own obs registry (they are not safe to share
+		// across workers); ObserveJob aggregates them into the /metrics
+		// tls_run_* counters. Obs is not part of the job key, so caching
+		// is unaffected.
+		for i := range jobs {
+			jobs[i].Obs = &repro.ObsConfig{Registry: repro.NewObsRegistry()}
+		}
+		addr, err := tel.Start(*listenF)
+		die(err)
+		defer tel.Stop()
+		fmt.Fprintf(os.Stderr, "tlssweep: telemetry on http://%s/metrics\n", addr)
+	}
 	if *cacheDir != "" {
 		cache, err := repro.NewResultCache(*cacheDir)
 		die(err)

@@ -1,21 +1,83 @@
 // tlstrace renders a Gantt-style timeline of one simulation run — the tool
 // behind the concept figures (5 and 6): per-processor lanes of task
-// execution, commit merges, and squashes.
+// execution, commit merges, and squashes — and exports deep-observability
+// artifacts: raw trace CSV, per-word squash hotspots, and Chrome/Perfetto
+// trace-event JSON for ui.perfetto.dev.
 //
 // Usage:
 //
 //	tlstrace -app Euler -machine cmp -scheme "MultiT&MV FMM" -width 120
+//	tlstrace -app Euler -perfetto trace.json
+//	tlstrace -validate trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// validApps returns the application names tlstrace accepts, sorted, with
+// the synthetic concept workload first.
+func validApps() []string {
+	names := []string{"micro"}
+	var apps []string
+	for _, p := range repro.Apps() {
+		apps = append(apps, p.Name)
+	}
+	sort.Strings(apps)
+	return append(names, apps...)
+}
+
+// resolveProfile maps an -app value to a workload profile. An unknown name
+// returns an error listing the valid applications.
+func resolveProfile(name string, tasks float64) (repro.Profile, error) {
+	if name == "micro" {
+		return report.MicroWorkload(12), nil
+	}
+	p, ok := repro.AppByName(name)
+	if !ok {
+		return repro.Profile{}, fmt.Errorf("unknown application %q (valid: %s)",
+			name, strings.Join(validApps(), ", "))
+	}
+	return p.Scale(tasks, 0.1, 0.25), nil
+}
+
+// resolveMachine maps a -machine value to a machine configuration.
+func resolveMachine(name string) (*repro.Machine, error) {
+	switch strings.ToLower(name) {
+	case "numa":
+		return repro.NUMA16(), nil
+	case "cmp":
+		return repro.CMP8(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (valid: numa, cmp)", name)
+	}
+}
+
+// validateFile checks an existing trace-event JSON file and reports its
+// statistics.
+func validateFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := report.ValidatePerfetto(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: valid trace-event JSON: %d events (%d slices on %d exec lanes, %d counter events on %d tracks, %d squash flows)\n",
+		path, st.Events, st.Slices, st.ExecLanes, st.CounterEvents, st.CounterTracks, st.FlowStarts)
+	return nil
+}
 
 func main() {
 	var (
@@ -25,50 +87,77 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		width    = flag.Int("width", 120, "timeline width in characters")
 		asCSV    = flag.Bool("csv", false, "emit the raw trace events as CSV instead of a chart")
+		hotspots = flag.Bool("hotspots", false, "emit the per-word squash hotspot table as CSV instead of a chart")
+		perfetto = flag.String("perfetto", "", "write Chrome/Perfetto trace-event JSON to this file ('-' = stdout)")
+		validate = flag.String("validate", "", "validate an existing trace-event JSON file and exit")
 		tasks    = flag.Float64("tasks", 0.05, "task-count scale for named applications")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(os.Stdout, *validate); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scheme, found := repro.SchemeFromString(*schName)
 	if !found {
 		fmt.Fprintf(os.Stderr, "tlstrace: unknown scheme %q\n", *schName)
 		os.Exit(2)
 	}
-
-	var prof repro.Profile
-	if *appName == "micro" {
-		prof = report.MicroWorkload(12)
-	} else {
-		p, ok := repro.AppByName(*appName)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tlstrace: unknown application %q\n", *appName)
-			os.Exit(2)
-		}
-		prof = p.Scale(*tasks, 0.1, 0.25)
+	prof, err := resolveProfile(*appName, *tasks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+		os.Exit(2)
 	}
-
-	var mach *repro.Machine
-	switch strings.ToLower(*machName) {
-	case "numa":
-		mach = repro.NUMA16()
-	case "cmp":
-		mach = repro.CMP8()
-	default:
-		fmt.Fprintf(os.Stderr, "tlstrace: unknown machine %q\n", *machName)
+	mach, err := resolveMachine(*machName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 		os.Exit(2)
 	}
 
 	s := repro.NewSimulator(mach, scheme, prof, *seed)
 	s.EnableTrace()
+	if *perfetto != "" {
+		// The Perfetto export includes the obs counter tracks.
+		s.Observe(obs.Config{Registry: obs.NewRegistry()})
+	}
 	r := s.Run()
-	if *asCSV {
+
+	switch {
+	case *perfetto != "":
+		out := os.Stdout
+		if *perfetto != "-" {
+			f, err := os.Create(*perfetto)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.ExportPerfetto(out, r, s.Sampled()); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(1)
+		}
+		if *perfetto != "-" {
+			fmt.Printf("wrote %s: open it at https://ui.perfetto.dev or chrome://tracing\n", *perfetto)
+		}
+	case *asCSV:
 		if err := report.ExportTraceCSV(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 			os.Exit(1)
 		}
-		return
+	case *hotspots:
+		if err := report.ExportSquashHotspotsCSV(os.Stdout, r); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Printf("%s on %s under %s: %d tasks, %d cycles, %d squash events\n\n",
+			prof.Name, mach.Name, scheme, r.Tasks, r.ExecCycles, r.SquashEvents)
+		report.Timeline(os.Stdout, r, mach.Procs, *width)
 	}
-	fmt.Printf("%s on %s under %s: %d tasks, %d cycles, %d squash events\n\n",
-		prof.Name, mach.Name, scheme, r.Tasks, r.ExecCycles, r.SquashEvents)
-	report.Timeline(os.Stdout, r, mach.Procs, *width)
 }

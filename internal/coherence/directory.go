@@ -23,6 +23,7 @@ package coherence
 import (
 	"repro/internal/ids"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 )
 
 // readerMark records that an uncommitted reader observed the version of one
@@ -83,6 +84,11 @@ type Directory struct {
 	violations uint64
 	reads      uint64
 	writes     uint64
+
+	// Observability mirrors of the statistics (nil = disabled, free).
+	obsReads      *obs.Counter
+	obsWrites     *obs.Counter
+	obsViolations *obs.Counter
 
 	// spurious, when non-nil, is the fault-injection hook consulted by a
 	// conflict-free RecordWrite: given the word's uncommitted readers ordered
@@ -255,6 +261,7 @@ func (d *Directory) VersionFor(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 // reader commits or is squashed.
 func (d *Directory) RecordRead(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 	d.reads++
+	d.obsReads.Inc()
 	producer := d.VersionFor(a, reader)
 	w := d.wordFor(a)
 	for i := range w.readers {
@@ -281,6 +288,7 @@ func (d *Directory) RecordRead(a memsys.Addr, reader ids.TaskID) ids.TaskID {
 // write by the same task is idempotent here.
 func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
 	d.writes++
+	d.obsWrites.Inc()
 	w := d.wordFor(a)
 	i := lowerBound(w.versions, writer)
 	if i == len(w.versions) || w.versions[i] != writer {
@@ -300,6 +308,7 @@ func (d *Directory) RecordWrite(a memsys.Addr, writer ids.TaskID) ids.TaskID {
 	}
 	if victim != ids.None {
 		d.violations++
+		d.obsViolations.Inc()
 	} else if d.spurious != nil {
 		if v := d.spurious(d.laterReaders(w, writer)); v != ids.None {
 			victim = v
@@ -327,6 +336,14 @@ func (d *Directory) laterReaders(w *wordState, writer ids.TaskID) []ids.TaskID {
 	}
 	d.scratch = out
 	return out
+}
+
+// SetObs installs observability counters mirroring the directory's
+// statistics. Nil counters (the default) are free no-ops.
+func (d *Directory) SetObs(reads, writes, violations *obs.Counter) {
+	d.obsReads = reads
+	d.obsWrites = writes
+	d.obsViolations = violations
 }
 
 // SetSpuriousConflict installs the fault-injection hook consulted on every

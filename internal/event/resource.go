@@ -91,3 +91,15 @@ func (b *Banks) TotalWait() Time {
 	}
 	return w
 }
+
+// BusyAt returns how many banks are occupied at time now — an observability
+// read (the in-flight-messages gauge); it does not change occupancy.
+func (b *Banks) BusyAt(now Time) int {
+	n := 0
+	for i := range b.banks {
+		if b.banks[i].busyUntil > now {
+			n++
+		}
+	}
+	return n
+}

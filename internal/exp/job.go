@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,6 +59,13 @@ type Job struct {
 	Sequential bool
 	// Ablation applies protocol ablation knobs (zero = baseline).
 	Ablation Ablation
+
+	// Obs, when non-nil, installs an observability registry and sampler on
+	// the built simulator. It is deliberately NOT part of Key: observability
+	// never changes a Result (the observer-effect tests enforce this), so
+	// observed and unobserved runs share cache entries — which also means a
+	// cache hit skips the simulation and leaves the registry empty.
+	Obs *obs.Config
 }
 
 // Key returns the job's stable content hash: a hex SHA-256 over the
@@ -102,7 +110,11 @@ func (j Job) Label() string {
 // caller can checkpoint, interrupt, or restore it before Run.
 func (j Job) Build() *sim.Simulator {
 	if j.Sequential {
-		return sim.NewSequential(j.Machine, j.Profile, j.Seed)
+		s := sim.NewSequential(j.Machine, j.Profile, j.Seed)
+		if j.Obs != nil {
+			s.Observe(*j.Obs)
+		}
+		return s
 	}
 	s := sim.New(j.Machine, j.Scheme, workload.NewGenerator(j.Profile, j.Seed))
 	if j.Ablation.LineGranularity {
@@ -113,6 +125,9 @@ func (j Job) Build() *sim.Simulator {
 	}
 	if j.Ablation.ORBCommit {
 		s.SetORBCommit(true)
+	}
+	if j.Obs != nil {
+		s.Observe(*j.Obs)
 	}
 	return s
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // Topology exposes the node-to-node distance of a network.
@@ -101,6 +102,26 @@ type Network struct {
 	msgOccupancy event.Time
 	// bankOccupancy is how long one line transfer occupies a bank.
 	bankOccupancy event.Time
+
+	// obsMessages counts transfers for the observability layer (nil =
+	// disabled, free).
+	obsMessages *obs.Counter
+}
+
+// SetObs installs an observability counter incremented per Transfer. A nil
+// counter (the default) is a free no-op.
+func (n *Network) SetObs(messages *obs.Counter) { n.obsMessages = messages }
+
+// InFlight returns how many network interfaces and banks are occupied at
+// time now — the in-flight-messages gauge. A pure observability read.
+func (n *Network) InFlight(now event.Time) int {
+	busy := n.banks.BusyAt(now)
+	for i := range n.ifs {
+		if n.ifs[i].BusyUntil() > now {
+			busy++
+		}
+	}
+	return busy
 }
 
 // NewNetwork builds a network over topo with the given bank count and
@@ -129,6 +150,7 @@ func (n *Network) Home(key uint64) ids.ProcID {
 // delay) is returned. Local L1/L2 hits must not call Transfer — they don't
 // touch the network.
 func (n *Network) Transfer(from ids.ProcID, bankKey uint64, now, lat event.Time) (done event.Time) {
+	n.obsMessages.Inc()
 	start := now
 	if int(from) >= 0 && int(from) < len(n.ifs) {
 		start, _ = n.ifs[from].Acquire(now, n.msgOccupancy)

@@ -321,6 +321,18 @@ func (c *Cache) ForEach(visit func(*Line)) {
 	}
 }
 
+// LiveLines returns the number of valid lines — the occupancy gauge sampled
+// by the observability layer.
+func (c *Cache) LiveLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
 // CountWhere returns the number of valid lines matching the predicate.
 func (c *Cache) CountWhere(match func(*Line) bool) int {
 	n := 0

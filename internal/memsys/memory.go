@@ -1,6 +1,9 @@
 package memsys
 
-import "repro/internal/ids"
+import (
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
 
 // Memory models main memory's version state. Under AMM it holds only
 // architectural (safe) data; under FMM it holds the latest future state and
@@ -14,6 +17,17 @@ type Memory struct {
 	// Statistics.
 	writebacks uint64
 	rejected   uint64
+
+	// Observability mirrors of the statistics (nil = disabled, free).
+	obsWritebacks *obs.Counter
+	obsRejected   *obs.Counter
+}
+
+// SetObs installs observability counters mirroring the write-back
+// statistics. Nil counters (the default) are free no-ops.
+func (m *Memory) SetObs(writebacks, rejected *obs.Counter) {
+	m.obsWritebacks = writebacks
+	m.obsRejected = rejected
 }
 
 // NewMemory returns an empty memory. When mtid is true the memory carries
@@ -40,9 +54,11 @@ func (m *Memory) Version(tag LineAddr) ids.TaskID { return m.version[tag] }
 // write-back is accepted in arrival order.
 func (m *Memory) WriteBack(tag LineAddr, producer ids.TaskID) bool {
 	m.writebacks++
+	m.obsWritebacks.Inc()
 	if m.mtidEnabled {
 		if cur, ok := m.version[tag]; ok && !cur.Before(producer) {
 			m.rejected++
+			m.obsRejected.Inc()
 			return false
 		}
 	}

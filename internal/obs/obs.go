@@ -1,0 +1,329 @@
+// Package obs is the simulator's cycle-domain observability layer: a
+// registry of named counters, gauges, and fixed-bucket histograms that
+// components increment on their hot paths, plus a periodic time-series
+// sampler (sampler.go) whose snapshots feed the Perfetto and Prometheus
+// exporters.
+//
+// Two properties are load-bearing and enforced by tests:
+//
+//   - Disabled observability is free. Every handle method is defined on a
+//     nil receiver as a no-op, and a nil *Registry returns nil handles, so
+//     an uninstrumented run executes a single nil check per hook — no
+//     allocations, no branches on simulated timing, and byte-identical
+//     results (the observer-effect regression tests in internal/sim).
+//   - Everything is deterministic and cycle-domain. Metrics are functions
+//     of the simulated event stream only: no wall clock, no goroutines, no
+//     map iteration reaching an exporter unordered. Two runs of the same
+//     (machine, scheme, profile, seed) produce identical registries.
+//
+// A Registry is single-goroutine, like the simulator that owns it: one
+// registry per run, never shared across concurrent simulations.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing count. The zero value of the handle
+// (nil) is a valid no-op counter.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value that can move both ways (an occupancy, a
+// queue depth). The zero handle (nil) is a valid no-op gauge.
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the gauge value. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge by dv (negative to decrease). No-op on a nil handle.
+func (g *Gauge) Add(dv int64) {
+	if g != nil {
+		g.v += dv
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets chosen at registration:
+// bucket i counts observations <= Bounds[i], with one implicit overflow
+// bucket above the last bound. Fixed bounds keep Observe allocation-free
+// and the export deterministic. The zero handle (nil) is a valid no-op.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds
+	counts []uint64 // len(bounds)+1: last is the overflow bucket
+	sum    uint64
+	n      uint64
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observed values (0 on a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Bounds returns the bucket upper bounds (nil on a nil handle).
+func (h *Histogram) Bounds() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket counts, the last entry being the
+// overflow bucket (nil on a nil handle).
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.counts
+}
+
+// Registry holds one run's metrics by name. The zero value is NOT usable;
+// call NewRegistry. A nil *Registry is the disabled layer: every
+// registration returns a nil (no-op) handle.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering on first use) the counter named name, or a
+// nil no-op handle when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge named name, or a nil
+// no-op handle when the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram named name
+// with the given ascending bucket upper bounds, or a nil no-op handle when
+// the registry is nil. Re-registering an existing name returns the existing
+// histogram; its original bounds win.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]uint64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the value of a named counter (0 when absent or on a
+// nil registry) — the exporters' and tests' read path.
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name].Value()
+}
+
+// GaugeValue returns the value of a named gauge (0 when absent).
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name].Value()
+}
+
+// CounterNames returns the registered counter names, sorted (deterministic
+// export order).
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.counters)
+}
+
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.gauges)
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.hists)
+}
+
+// FindHistogram returns a registered histogram by name (nil when absent).
+func (r *Registry) FindHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, metric names prefixed with prefix, in sorted name
+// order. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	if r == nil {
+		return nil
+	}
+	for _, name := range r.CounterNames() {
+		if err := PromMetric(w, prefix+name, "counter", float64(r.counters[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.GaugeNames() {
+		if err := PromMetric(w, prefix+name, "gauge", float64(r.gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.hists[name]
+		full := prefix + name
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", full, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			full, cum, full, h.sum, full, h.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromMetric writes one `# TYPE` header plus a sample in the Prometheus
+// text exposition format — shared by the registry export and the campaign
+// telemetry endpoint.
+func PromMetric(w io.Writer, name, typ string, v float64) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", name, typ, name, v)
+	return err
+}
+
+// Config bundles the two knobs callers thread through simulator builders:
+// where metrics land, and how often gauge sources are sampled.
+type Config struct {
+	// Registry receives the run's counters, gauges, and histograms.
+	Registry *Registry
+	// SamplePeriod is the gauge-sampling cadence in simulated cycles
+	// (0 selects DefaultSamplePeriod).
+	SamplePeriod uint64
+}
+
+// DefaultSamplePeriod is the sampling cadence used when a Config does not
+// set one: fine enough to resolve commit/squash phases of the evaluated
+// sections, coarse enough to keep series small.
+const DefaultSamplePeriod = 1000

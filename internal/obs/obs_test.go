@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(10)
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.CounterValue("c") != 0 || r.GaugeValue("g") != 0 {
+		t.Fatal("nil registry reads must be zero")
+	}
+	if r.CounterNames() != nil || r.GaugeNames() != nil || r.HistogramNames() != nil {
+		t.Fatal("nil registry must list nothing")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "x_"); err != nil || sb.Len() != 0 {
+		t.Fatal("nil registry must export nothing")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("commits_total")
+	c.Inc()
+	c.Add(4)
+	if got := r.CounterValue("commits_total"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("commits_total") != c {
+		t.Fatal("re-registering a name must return the same handle")
+	}
+	g := r.Gauge("inflight")
+	g.Set(7)
+	g.Add(-3)
+	if got := r.GaugeValue("inflight"); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	for _, v := range []uint64{0, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 0, 1} // <=10: {0,10}; <=100: {11,100}; <=1000: none; over: 5000
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 0+10+11+100+5000 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", []uint64{10, 10})
+}
+
+// The BENCH allocs/op gates require that disabled observability adds zero
+// allocations to hot paths; increments on live handles must be free too.
+func TestIncrementsDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{8, 64, 512})
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		h.Observe(9)
+		nilC.Inc()
+	}); n != 0 {
+		t.Fatalf("hot-path increments allocate %v/op, want 0", n)
+	}
+}
+
+func TestSamplerCadenceAndDeterminism(t *testing.T) {
+	run := func() Series {
+		s := NewSampler(100)
+		v := int64(0)
+		s.Register("v", func(cycle uint64) int64 { return v })
+		s.Register("cycle2", func(cycle uint64) int64 { return int64(cycle) * 2 })
+		for cycle := uint64(0); cycle < 1000; cycle += 30 {
+			v = int64(cycle) / 10
+			s.Poll(cycle)
+		}
+		s.Force(999)
+		return s.Series()
+	}
+	a, b := run(), run()
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("non-deterministic sample count: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Cycle != b.Samples[i].Cycle {
+			t.Fatalf("row %d cycle differs: %d vs %d", i, a.Samples[i].Cycle, b.Samples[i].Cycle)
+		}
+		for j := range a.Samples[i].Values {
+			if a.Samples[i].Values[j] != b.Samples[i].Values[j] {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+	// Poll at 0 records; next boundaries are 100-aligned: rows at 0, 120,
+	// 210, 300, ... (first poll at or after each boundary), plus the forced
+	// final row at 999.
+	if a.Samples[0].Cycle != 0 {
+		t.Fatalf("first row at %d, want 0", a.Samples[0].Cycle)
+	}
+	if a.Samples[1].Cycle != 120 {
+		t.Fatalf("second row at %d, want 120 (first poll past boundary 100)", a.Samples[1].Cycle)
+	}
+	if last := a.Samples[len(a.Samples)-1]; last.Cycle != 999 {
+		t.Fatalf("forced final row at %d, want 999", last.Cycle)
+	}
+	if len(a.Names) != 2 || a.Names[0] != "v" || a.Names[1] != "cycle2" {
+		t.Fatalf("names = %v", a.Names)
+	}
+	for _, row := range a.Samples {
+		if row.Values[1] != int64(row.Cycle)*2 {
+			t.Fatalf("row %d: col cycle2 = %d, want %d", row.Cycle, row.Values[1], row.Cycle*2)
+		}
+	}
+}
+
+func TestSamplerForceDedupsSameCycle(t *testing.T) {
+	s := NewSampler(50)
+	v := int64(1)
+	s.Register("v", func(uint64) int64 { return v })
+	s.Poll(0)
+	v = 2
+	s.Force(0) // same cycle: refresh the row in place
+	if s.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", s.Len())
+	}
+	if got := s.Series().Samples[0].Values[0]; got != 2 {
+		t.Fatalf("refreshed value = %d, want 2", got)
+	}
+}
+
+func TestNilSamplerIsNoOp(t *testing.T) {
+	var s *Sampler
+	s.Register("x", func(uint64) int64 { return 1 })
+	s.Poll(10)
+	s.Force(20)
+	if s.Len() != 0 || s.Period() != 0 {
+		t.Fatal("nil sampler must observe nothing")
+	}
+	if got := s.Series(); got.Names != nil || got.Samples != nil {
+		t.Fatal("nil sampler series must be zero")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.Counter("a_total").Add(1)
+	r.Gauge("depth").Set(-4)
+	h := r.Histogram("exec_cycles", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "tls_"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tls_a_total counter\ntls_a_total 1\n",
+		"# TYPE tls_b_total counter\ntls_b_total 3\n",
+		"# TYPE tls_depth gauge\ntls_depth -4\n",
+		"# TYPE tls_exec_cycles histogram\n",
+		"tls_exec_cycles_bucket{le=\"10\"} 1\n",
+		"tls_exec_cycles_bucket{le=\"100\"} 2\n",
+		"tls_exec_cycles_bucket{le=\"+Inf\"} 3\n",
+		"tls_exec_cycles_sum 555\n",
+		"tls_exec_cycles_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters export in sorted name order (deterministic scrapes).
+	if strings.Index(out, "tls_a_total") > strings.Index(out, "tls_b_total") {
+		t.Error("counters not sorted by name")
+	}
+}

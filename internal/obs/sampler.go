@@ -1,0 +1,129 @@
+package obs
+
+// Source is one sampled gauge: a name and a function returning its value at
+// a given simulated cycle. Sources must be pure observers — reading them
+// must not change any simulation state.
+type Source struct {
+	Name string
+	Fn   func(cycle uint64) int64
+}
+
+// Sample is one row of the time series: every source's value at one cycle.
+// Values are ordered as the sources were registered.
+type Sample struct {
+	Cycle  uint64
+	Values []int64
+}
+
+// Series is a sampler's complete output: the source names and the rows, in
+// cycle order.
+type Series struct {
+	Names   []string
+	Samples []Sample
+}
+
+// Sampler records every registered source at a fixed cycle period. It is
+// polled opportunistically from the simulator's instrumentation points: the
+// first poll at or after each period boundary takes the row (the simulator
+// is event-driven, so there is no "exactly at cycle N" to hook). Rows are
+// therefore stamped with the polling cycle, and the sequence of rows is a
+// deterministic function of the simulated event stream alone — no wall
+// clock, no background goroutine.
+//
+// A nil *Sampler is the disabled sampler: Poll and Force are no-ops.
+type Sampler struct {
+	period  uint64
+	next    uint64
+	sources []Source
+	samples []Sample
+	// flat backs every row's Values to keep steady-state sampling down to
+	// amortized append growth only.
+	flat []int64
+}
+
+// NewSampler returns a sampler with the given cycle period (0 selects
+// DefaultSamplePeriod).
+func NewSampler(period uint64) *Sampler {
+	if period == 0 {
+		period = DefaultSamplePeriod
+	}
+	return &Sampler{period: period}
+}
+
+// Register adds a source. Registration order fixes the column order of the
+// series. No-op on a nil sampler.
+func (s *Sampler) Register(name string, fn func(cycle uint64) int64) {
+	if s == nil {
+		return
+	}
+	s.sources = append(s.sources, Source{Name: name, Fn: fn})
+}
+
+// Period returns the sampling cadence in cycles (0 on a nil sampler).
+func (s *Sampler) Period() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.period
+}
+
+// Poll records a row if cycle has reached the next period boundary; no-op
+// otherwise and on a nil sampler. The next boundary is aligned down to a
+// period multiple so sparse polling cannot drift the cadence.
+func (s *Sampler) Poll(cycle uint64) {
+	if s == nil || cycle < s.next {
+		return
+	}
+	s.record(cycle)
+	s.next = cycle - cycle%s.period + s.period
+}
+
+// Force records a row at cycle regardless of the period — the final
+// end-of-section snapshot. Duplicate cycles collapse: forcing the cycle of
+// the latest row refreshes it instead of appending. No-op on a nil sampler.
+func (s *Sampler) Force(cycle uint64) {
+	if s == nil {
+		return
+	}
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == cycle {
+		row := s.samples[n-1].Values
+		for i, src := range s.sources {
+			row[i] = src.Fn(cycle)
+		}
+		return
+	}
+	s.record(cycle)
+	if next := cycle - cycle%s.period + s.period; next > s.next {
+		s.next = next
+	}
+}
+
+func (s *Sampler) record(cycle uint64) {
+	base := len(s.flat)
+	for _, src := range s.sources {
+		s.flat = append(s.flat, src.Fn(cycle))
+	}
+	s.samples = append(s.samples, Sample{Cycle: cycle, Values: s.flat[base:len(s.flat):len(s.flat)]})
+}
+
+// Len returns the number of recorded rows (0 on a nil sampler).
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// Series returns the recorded time series. The returned slices alias the
+// sampler's storage; callers must not mutate them. Nil sampler returns a
+// zero Series.
+func (s *Sampler) Series() Series {
+	if s == nil {
+		return Series{}
+	}
+	names := make([]string, len(s.sources))
+	for i, src := range s.sources {
+		names[i] = src.Name
+	}
+	return Series{Names: names, Samples: s.samples}
+}

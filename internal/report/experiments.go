@@ -31,6 +31,10 @@ type Options struct {
 	// Progress, if non-nil, is called after every completed speculative run
 	// (from the goroutine that ran it; calls are serialized).
 	Progress func(machine, app string, scheme core.Scheme, r sim.Result)
+	// JobObserver, if non-nil, receives every finished job — cached,
+	// executed, sequential, or failed — before Progress filtering. It is
+	// the hook the -listen telemetry endpoint chains into.
+	JobObserver func(exp.JobResult)
 	// Serial disables the default run-level parallelism. Results are
 	// identical either way — each simulation is an isolated deterministic
 	// function of its inputs — so Serial only matters for debugging.
@@ -97,10 +101,13 @@ func (o *Options) runner() *exp.Runner {
 			r.Cache = c
 		}
 	}
-	if o.Progress != nil {
-		p := o.Progress
+	if o.Progress != nil || o.JobObserver != nil {
+		p, observe := o.Progress, o.JobObserver
 		r.Progress = func(jr exp.JobResult) {
-			if jr.Err != nil || jr.Job.Sequential {
+			if observe != nil {
+				observe(jr)
+			}
+			if p == nil || jr.Err != nil || jr.Job.Sequential {
 				return
 			}
 			p(jr.Job.Machine.Name, jr.Job.Profile.Name, jr.Job.Scheme, jr.Result)

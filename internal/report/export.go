@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -134,16 +135,70 @@ func ExportCharacterizationCSV(w io.Writer, chars []AppCharacterization) error {
 // ExportTraceCSV writes a traced run's timeline events as CSV.
 func ExportTraceCSV(w io.Writer, r sim.Result) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"when", "kind", "task", "proc"}); err != nil {
+	if err := cw.Write([]string{"when", "kind", "task", "proc", "word", "writer", "wasted"}); err != nil {
 		return err
 	}
 	events := append([]sim.TraceEvent(nil), r.Trace...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].When < events[j].When })
 	for _, ev := range events {
+		// Squash-cause columns are empty on non-squash rows.
+		word, writer, wasted := "", "", ""
+		if ev.Kind == sim.TraceSquash {
+			word = strconv.FormatUint(uint64(ev.Word), 10)
+			writer = ev.Writer.String()
+			wasted = strconv.FormatUint(uint64(ev.Wasted), 10)
+		}
 		if err := cw.Write([]string{
 			strconv.FormatUint(uint64(ev.When), 10), ev.Kind.String(),
-			ev.Task.String(), ev.Proc.String(),
+			ev.Task.String(), ev.Proc.String(), word, writer, wasted,
 		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportSquashHotspotsCSV writes the per-word squash-attribution table of a
+// traced run: which words' dependence chains squash the application, ranked
+// by wasted cycles.
+func ExportSquashHotspotsCSV(w io.Writer, r sim.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"word", "squashes", "wasted_cycles", "max_distance", "sample_writer", "sample_reader",
+	}); err != nil {
+		return err
+	}
+	for _, h := range sim.SquashHotspots(r.Trace) {
+		if err := cw.Write([]string{
+			strconv.FormatUint(uint64(h.Word), 10),
+			strconv.Itoa(h.Squashes),
+			strconv.FormatUint(uint64(h.WastedCycles), 10),
+			strconv.Itoa(h.MaxDistance),
+			h.SampleWriter.String(),
+			h.SampleReader.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportSeriesCSV writes an obs gauge time series as CSV: a cycle column
+// followed by one column per source.
+func ExportSeriesCSV(w io.Writer, series obs.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"cycle"}, series.Names...)); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(series.Names)+1)
+	for _, s := range series.Samples {
+		row = append(row[:0], strconv.FormatUint(s.Cycle, 10))
+		for _, v := range s.Values {
+			row = append(row, strconv.FormatInt(v, 10))
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func perfettoRun(t *testing.T) (sim.Result, obs.Series) {
+	t.Helper()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	p.DepProb = 0.3
+	s := sim.New(machine.CMP8(), core.MultiTMVEager, workload.NewGenerator(p, 99))
+	s.EnableTrace()
+	s.Observe(obs.Config{Registry: obs.NewRegistry(), SamplePeriod: 500})
+	r := s.Run()
+	if r.TasksSquashed == 0 {
+		t.Fatal("workload produced no squashes; flow arrows untestable")
+	}
+	return r, s.Sampled()
+}
+
+// TestExportPerfettoSchema is the acceptance check for the Perfetto export:
+// the emitted JSON validates as trace-event JSON and contains per-processor
+// task lanes, at least 4 counter tracks, and squash flow events.
+func TestExportPerfettoSchema(t *testing.T) {
+	r, series := perfettoRun(t)
+	var buf bytes.Buffer
+	if err := ExportPerfetto(&buf, r, series); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidatePerfetto(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("export does not validate: %v", err)
+	}
+	if st.ExecLanes != len(r.PerProc) {
+		t.Errorf("exec lanes = %d, want one per processor (%d)", st.ExecLanes, len(r.PerProc))
+	}
+	if st.CounterTracks < 4 {
+		t.Errorf("counter tracks = %d, want >= 4", st.CounterTracks)
+	}
+	if st.FlowStarts == 0 {
+		t.Error("no squash flow events emitted")
+	}
+	if st.Instants == 0 {
+		t.Error("no squash instants emitted")
+	}
+	if st.Slices == 0 || st.Metadata == 0 || st.CounterEvents == 0 {
+		t.Errorf("missing event classes: %+v", st)
+	}
+
+	// Determinism: exporting the same run twice is byte-identical.
+	var again bytes.Buffer
+	if err := ExportPerfetto(&again, r, series); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("perfetto export is not deterministic")
+	}
+}
+
+func TestValidatePerfettoRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "perfetto?",
+		"no traceEvents": `{"foo": []}`,
+		"bad phase":      `{"traceEvents":[{"ph":"Z","ts":1,"pid":0,"tid":0}]}`,
+		"missing ts":     `{"traceEvents":[{"ph":"X","pid":0,"tid":0}]}`,
+		"unpaired flow":  `{"traceEvents":[{"ph":"s","id":"1","ts":1,"pid":0,"tid":0}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ValidatePerfetto(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not", name)
+		}
+	}
+}
+
+func TestExportSquashHotspotsCSV(t *testing.T) {
+	r, _ := perfettoRun(t)
+	var buf bytes.Buffer
+	if err := ExportSquashHotspotsCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("no hotspot rows:\n%s", buf.String())
+	}
+	if lines[0] != "word,squashes,wasted_cycles,max_distance,sample_writer,sample_reader" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+}
+
+func TestExportSeriesCSV(t *testing.T) {
+	_, series := perfettoRun(t)
+	var buf bytes.Buffer
+	if err := ExportSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(series.Samples)+1 {
+		t.Fatalf("rows = %d, want %d samples + header", len(lines), len(series.Samples))
+	}
+	wantCols := len(series.Names) + 1
+	for i, ln := range lines {
+		if got := len(strings.Split(ln, ",")); got != wantCols {
+			t.Fatalf("row %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+}

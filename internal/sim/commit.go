@@ -89,6 +89,8 @@ func (s *Simulator) finishCommit(t *task, now event.Time) {
 	s.lastCommitBy = t.proc
 	s.commitPerTask.Observe(float64(now - t.commitStart))
 	s.trace(now, TraceCommitEnd, t)
+	s.obs.commitDone(now - t.commitStart)
+	s.obs.poll(now)
 
 	if !s.scheme.MultipleTasksPerProc() {
 		// The SingleT processor performed the merge itself: the wait until
@@ -251,4 +253,5 @@ func (s *Simulator) finishSection(now event.Time) {
 		p.account(end)
 	}
 	s.specSampler.Observe(end, 0)
+	s.obs.force(end)
 }

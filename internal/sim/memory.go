@@ -268,7 +268,7 @@ func (s *Simulator) recordWrite(p *processor, t *task, addr memsys.Addr) {
 			// (the LRPD test); nothing is squashed mid-run.
 			s.coarseViolated = true
 		} else {
-			s.squashFrom(victim, p.lastTime)
+			s.squashFrom(victim, p.lastTime, addr, t.id)
 		}
 	}
 }

@@ -107,6 +107,10 @@ type Simulator struct {
 	tasksSquashed int
 	commits       int
 
+	// obs, when non-nil, is the observability layer (see observe.go): pure
+	// reads of simulation state, never on the timing path.
+	obs *simObs
+
 	tracing         bool
 	traceLog        []TraceEvent
 	lineGranularity bool
@@ -223,6 +227,7 @@ func (s *Simulator) step(p *processor, now event.Time) {
 		s.schedule(p, p.blockedUntil)
 		return
 	}
+	s.obs.poll(now)
 	p.account(now)
 	p.wait = waitNone
 	deadline := p.lastTime + quantum
@@ -336,6 +341,7 @@ func (s *Simulator) startTask(p *processor, t *task, redo bool) {
 		p.spend(s.cfg.DispatchOverhead, &p.bd.Busy)
 	}
 	s.trace(t.startedAt, TraceStart, t)
+	s.obs.taskStarted()
 }
 
 // finishTask marks t finished and tries to commit.
@@ -346,6 +352,7 @@ func (s *Simulator) finishTask(p *processor, t *task) {
 	t.ops = nil
 	p.cur = nil
 	s.trace(t.finishedAt, TraceFinish, t)
+	s.obs.taskFinished(t.finishedAt - t.startedAt)
 	s.maybeCommit(p.lastTime)
 }
 

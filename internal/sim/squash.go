@@ -8,7 +8,10 @@ import (
 
 // squashFrom handles a detected out-of-order RAW: the offending reader and
 // every uncommitted successor are squashed, their polluted state is
-// repaired, and they restart after recovery completes.
+// repaired, and they restart after recovery completes. word and writer name
+// the cause — the violated word and the task whose write exposed the RAW —
+// and flow into the trace's squash attribution and the obs wasted-cycles
+// accounting; they do not influence timing.
 //
 // Recovery cost is where AMM and FMM differ most (Section 3.3.4): AMM
 // recovery gang-invalidates the squashed speculative versions from the
@@ -16,8 +19,9 @@ import (
 // handler that walks the distributed MHB and copies every overwritten
 // version back to main memory in strict reverse task order (serialized
 // across processors).
-func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
+func (s *Simulator) squashFrom(first ids.TaskID, now event.Time, word memsys.Addr, writer ids.TaskID) {
 	s.squashEvents++
+	s.obs.squashEvent()
 
 	// Collect the victims: every uncommitted task at or after first,
 	// grouped per processor, in deterministic ID order. The per-processor
@@ -45,7 +49,19 @@ func (s *Simulator) squashFrom(first ids.TaskID, now event.Time) {
 			s.tasksSquashed++
 			t.squashCount++
 			s.dir.Squash(t.id)
-			s.trace(now, TraceSquash, t)
+			// Attribution: cycles of discarded execution. A finished victim
+			// wasted its whole run; a running victim wasted up to its
+			// processor's local time (>= startedAt by construction); a victim
+			// already sitting squashed in the redo queue did no new work.
+			var wasted event.Time
+			switch t.state {
+			case taskFinished:
+				wasted = t.finishedAt - t.startedAt
+			case taskRunning:
+				wasted = p.lastTime - t.startedAt
+			}
+			s.traceSquash(now, t, word, writer, wasted)
+			s.obs.taskSquashed(wasted, t.id, writer)
 			t.reset()
 			t.state = taskSquashed
 			if p.cur == t {

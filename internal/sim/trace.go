@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"sort"
+
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/memsys"
 )
 
 // TraceKind labels one execution-trace event.
@@ -40,11 +43,31 @@ func (k TraceKind) String() string {
 
 // TraceEvent is one timeline record. The execution and commit wavefronts of
 // Figures 5 and 6 are renderings of these events.
+//
+// TraceSquash events additionally carry their cause — the out-of-order RAW
+// that triggered the squash — so dependence chains are attributable: Word is
+// the violated word, Writer the task whose write exposed the violation, and
+// Wasted the execution cycles this victim discards (zero for a victim that
+// was already sitting squashed in the redo queue). The cause fields are zero
+// on every other kind.
 type TraceEvent struct {
 	When event.Time
 	Kind TraceKind
 	Task ids.TaskID
 	Proc ids.ProcID
+
+	Word   memsys.Addr
+	Writer ids.TaskID
+	Wasted event.Time
+}
+
+// Distance returns the task distance of a squash's RAW (reader − writer),
+// 0 for non-squash events.
+func (e TraceEvent) Distance() int {
+	if e.Kind != TraceSquash || e.Writer == ids.None {
+		return 0
+	}
+	return int(e.Task) - int(e.Writer)
 }
 
 // EnableTrace turns on timeline recording; call before Run.
@@ -55,4 +78,66 @@ func (s *Simulator) trace(when event.Time, kind TraceKind, t *task) {
 		return
 	}
 	s.traceLog = append(s.traceLog, TraceEvent{When: when, Kind: kind, Task: t.id, Proc: t.proc})
+}
+
+// traceSquash records a squash with its cause attribution.
+func (s *Simulator) traceSquash(when event.Time, t *task, word memsys.Addr, writer ids.TaskID, wasted event.Time) {
+	if !s.tracing {
+		return
+	}
+	s.traceLog = append(s.traceLog, TraceEvent{
+		When: when, Kind: TraceSquash, Task: t.id, Proc: t.proc,
+		Word: word, Writer: writer, Wasted: wasted,
+	})
+}
+
+// SquashHotspot aggregates every squash a single word caused: the per-word
+// row of the "which dependence chains squash this application" table.
+type SquashHotspot struct {
+	Word         memsys.Addr
+	Squashes     int        // victim squashes attributed to the word
+	WastedCycles event.Time // total discarded execution cycles
+	MaxDistance  int        // largest reader−writer task distance observed
+	// SampleWriter/SampleReader name one offending pair (the first seen),
+	// anchoring the hotspot to concrete tasks.
+	SampleWriter ids.TaskID
+	SampleReader ids.TaskID
+}
+
+// SquashHotspots aggregates a trace's squash events into per-word hotspots,
+// sorted by wasted cycles descending (ties: more squashes first, then lower
+// word address — a total, deterministic order).
+func SquashHotspots(trace []TraceEvent) []SquashHotspot {
+	byWord := map[memsys.Addr]*SquashHotspot{}
+	var order []memsys.Addr
+	for _, e := range trace {
+		if e.Kind != TraceSquash {
+			continue
+		}
+		h, ok := byWord[e.Word]
+		if !ok {
+			h = &SquashHotspot{Word: e.Word, SampleWriter: e.Writer, SampleReader: e.Task}
+			byWord[e.Word] = h
+			order = append(order, e.Word)
+		}
+		h.Squashes++
+		h.WastedCycles += e.Wasted
+		if d := e.Distance(); d > h.MaxDistance {
+			h.MaxDistance = d
+		}
+	}
+	out := make([]SquashHotspot, 0, len(order))
+	for _, w := range order {
+		out = append(out, *byWord[w])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WastedCycles != out[j].WastedCycles {
+			return out[i].WastedCycles > out[j].WastedCycles
+		}
+		if out[i].Squashes != out[j].Squashes {
+			return out[i].Squashes > out[j].Squashes
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
 }

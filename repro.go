@@ -42,6 +42,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -188,7 +189,28 @@ type (
 	Simulator = sim.Simulator
 	// TraceEvent is one timeline record of a traced run.
 	TraceEvent = sim.TraceEvent
+	// SquashHotspot is one row of the per-word squash-attribution table.
+	SquashHotspot = sim.SquashHotspot
 )
+
+// Observability (the internal/obs layer): a deterministic, cycle-domain
+// metrics registry and gauge sampler that attach to a Simulator via
+// (*Simulator).Observe without perturbing results.
+type (
+	// ObsRegistry holds one run's counters, gauges and histograms.
+	ObsRegistry = obs.Registry
+	// ObsConfig threads a registry and sampling period into a Simulator
+	// or an orchestrator Job.
+	ObsConfig = obs.Config
+	// ObsSeries is the sampled gauge time series of an observed run.
+	ObsSeries = obs.Series
+)
+
+// NewObsRegistry returns an empty observability registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// SquashHotspots aggregates a trace's squash events into per-word hotspots.
+func SquashHotspots(trace []TraceEvent) []SquashHotspot { return sim.SquashHotspots(trace) }
 
 // Run simulates one (machine, scheme, application, seed) combination.
 func Run(cfg *Machine, scheme Scheme, prof Profile, seed uint64) Result {
@@ -229,6 +251,9 @@ type (
 	RunMetrics = exp.Metrics
 	// MetricsSnapshot is a point-in-time view of RunMetrics.
 	MetricsSnapshot = exp.Snapshot
+	// Telemetry serves live campaign state over HTTP: Prometheus-text
+	// /metrics and a JSON /progress view (the CLIs' -listen flag).
+	Telemetry = exp.Telemetry
 	// ResultCache is the persistent on-disk result cache.
 	ResultCache = exp.Cache
 	// JobFailure is one entry of a sweep's failure manifest.
