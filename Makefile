@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test fmt vet race chaos verify report bench bench-baseline trace
+# BENCH is the checked-in benchmark-baseline document; override to cut or
+# gate against a different one (make bench BENCH=BENCH_4.json).
+BENCH ?= BENCH_3.json
+
+.PHONY: build test fmt vet race chaos cluster verify report bench bench-baseline trace
 
 build:
 	$(GO) build ./...
@@ -31,6 +35,13 @@ chaos:
 	$(GO) run ./cmd/tlschaos -seeds 10 -faults flip-tag
 	GO="$(GO)" sh ./scripts/chaos_drill.sh
 
+# cluster is the distributed-campaign drill: a loopback fleet (tlsserve +
+# two tlsworkers) runs a figure grid, loses one worker and the coordinator
+# to SIGKILL mid-campaign, resumes from the WAL, and must render artifacts
+# byte-identical to a serial tlsreport run.
+cluster:
+	GO="$(GO)" sh ./scripts/cluster_drill.sh
+
 # verify is the CI gate: formatting, vet, build, full tests, race tests.
 verify: fmt vet build test race
 
@@ -48,10 +59,10 @@ trace:
 # bench runs the tlsbench hot-path suite and gates allocs/op against the
 # checked-in baseline (±30% band); ns/op and events/sec are informational.
 bench:
-	$(GO) run ./cmd/tlsbench -compare BENCH_3.json
+	$(GO) run ./cmd/tlsbench -baseline $(BENCH) -compare
 
 # bench-baseline refreshes the checked-in baseline after an intentional
-# performance change (run on a quiet machine, then commit BENCH_3.json).
+# performance change (run on a quiet machine, then commit $(BENCH)).
 bench-baseline:
-	$(GO) run ./cmd/tlsbench -out BENCH_3.json \
+	$(GO) run ./cmd/tlsbench -baseline $(BENCH) -out \
 		-note "PR 3 baseline after the hot-path allocation overhaul; seed (pre-overhaul) reference: event/schedule-fire 59.5 ns/op 1 alloc/op, directory/record-write-read 228.6 ns/op 2 allocs/op, sim/full-run 238.5 ms/op 130875 allocs/op"

@@ -7,8 +7,13 @@
 // Usage:
 //
 //	tlsbench                          # run and print
-//	tlsbench -out BENCH_3.json        # run and write the baseline
-//	tlsbench -compare BENCH_3.json    # run and gate against the baseline
+//	tlsbench -out                     # run and write the baseline file
+//	tlsbench -compare                 # run and gate against the baseline
+//	tlsbench -baseline BENCH_4.json -out   # cut the next baseline
+//
+// The baseline lives at -baseline (default BENCH_3.json, the checked-in
+// document); -out and -compare write and read that path, so cutting a new
+// baseline is a flag change, not a code edit.
 //
 // The comparison enforces only allocs/op (within -band, default ±30%, with
 // a small absolute floor so 0-alloc baselines tolerate measurement jitter):
@@ -230,12 +235,13 @@ func compare(baseline Baseline, cur []Measurement, band float64) int {
 
 func main() {
 	var (
-		out     = flag.String("out", "", "write measurements as a JSON baseline to this path")
-		against = flag.String("compare", "", "compare against this JSON baseline; exit 1 outside the band")
-		band    = flag.Float64("band", 0.30, "guard band for the allocs/op comparison")
-		note    = flag.String("note", "", "note stored in the baseline file")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		basePath = flag.String("baseline", "BENCH_3.json", "path of the JSON benchmark baseline (-out writes it, -compare reads it)")
+		out      = flag.Bool("out", false, "write measurements to the -baseline file")
+		against  = flag.Bool("compare", false, "compare against the -baseline file; exit 1 outside the band")
+		band     = flag.Float64("band", 0.30, "guard band for the allocs/op comparison")
+		note     = flag.String("note", "", "note stored in the baseline file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -248,7 +254,7 @@ func main() {
 
 	cur := measure()
 
-	if *out != "" {
+	if *out {
 		doc := Baseline{
 			Note:       *note,
 			Go:         runtime.Version(),
@@ -261,16 +267,16 @@ func main() {
 			os.Exit(1)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := os.WriteFile(*basePath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
 			stopProf()
 			os.Exit(1)
 		}
-		fmt.Printf("baseline written to %s\n", *out)
+		fmt.Printf("baseline written to %s\n", *basePath)
 	}
 
-	if *against != "" {
-		data, err := os.ReadFile(*against)
+	if *against {
+		data, err := os.ReadFile(*basePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
 			stopProf()
@@ -278,7 +284,7 @@ func main() {
 		}
 		var baseline Baseline
 		if err := json.Unmarshal(data, &baseline); err != nil {
-			fmt.Fprintf(os.Stderr, "tlsbench: bad baseline %s: %v\n", *against, err)
+			fmt.Fprintf(os.Stderr, "tlsbench: bad baseline %s: %v\n", *basePath, err)
 			stopProf()
 			os.Exit(1)
 		}

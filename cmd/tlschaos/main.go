@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -157,6 +158,7 @@ func main() {
 		ckptDirF = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt)")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
+		coordF   = flag.String("coordinator", "", "run the campaign on a distributed fleet via this tlsserve URL (journal/checkpoint flags then apply coordinator/worker-side)")
 	)
 	flag.Parse()
 
@@ -223,6 +225,10 @@ func main() {
 	if *resumeF != "" {
 		journalPath = *resumeF
 	}
+	if *coordF != "" && journalPath != "" {
+		fmt.Fprintln(os.Stderr, "tlschaos: -coordinator set; journaling is coordinator-side, ignoring -journal/-resume")
+		journalPath = ""
+	}
 	var cmp *campaign
 	if journalPath != "" {
 		cmp = &campaign{
@@ -270,7 +276,12 @@ func main() {
 		}
 	}
 
-	outcomes := runAll(sd.Context(), cmp, cases, cfg, selection, flips, *timeout, *jobs)
+	var outcomes []outcome
+	if *coordF != "" {
+		outcomes = runFleet(sd.Context(), cases, cfg, selection, flips, *coordF)
+	} else {
+		outcomes = runAll(sd.Context(), cmp, cases, cfg, selection, flips, *timeout, *jobs)
+	}
 
 	if sd.Interrupted() {
 		if journalPath != "" {
@@ -522,6 +533,79 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	return out
+}
+
+// caseJob maps one chaos case onto the canonical job form the fleet
+// executes: same fuzzed profile, same fault config, invariant checker
+// armed. Workers run it through exp.Job.build, which reproduces buildCase
+// exactly, so a fleet campaign's verdicts match a local one's.
+func caseJob(c chaosCase, cfg *machine.Config, selection map[fault.Kind]bool) exp.Job {
+	fc := planFor(c.Seed, selection)
+	return exp.Job{
+		Machine:    cfg,
+		Scheme:     c.Scheme,
+		Profile:    workload.FuzzProfile(rng.New(c.Seed ^ 0xc4a05bedb1a5e5)),
+		Seed:       c.Seed,
+		Faults:     &fc,
+		Invariants: true,
+	}
+}
+
+// outcomeFrom folds a fleet job result back into the campaign's verdict
+// shape.
+func outcomeFrom(c chaosCase, jr exp.JobResult, interrupted bool) outcome {
+	o := outcome{Case: c}
+	if jr.Err != nil {
+		switch {
+		case interrupted:
+			o.Interrupted = true
+		case jr.TimedOut:
+			o.TimedOut = true
+		default:
+			o.PanicMsg = jr.Err.Error()
+		}
+		return o
+	}
+	o.Cycles = uint64(jr.Result.ExecCycles)
+	o.Uncommitted = jr.Result.Tasks - jr.Result.Commits
+	if v := jr.Chaos; v != nil {
+		o.Faults = v.FaultMix
+		o.FaultCount = v.Faults
+		o.Violations = v.Violations
+		o.WrongLines = v.WrongLines
+		o.Samples = v.Samples
+	}
+	return o
+}
+
+// runFleet executes the campaign on a distributed fleet through a tlsserve
+// coordinator. Chaotic jobs bypass the result cache (their verdict is not
+// reconstructible from a cached sim.Result); the coordinator persists their
+// sealed outcomes in its journal instead, so fleet campaigns are exactly as
+// crash-resumable as local journaled ones.
+func runFleet(ctx context.Context, cases []chaosCase, cfg *machine.Config,
+	selection map[fault.Kind]bool, flips bool, url string) []outcome {
+	jobs := make([]exp.Job, len(cases))
+	for i, c := range cases {
+		jobs[i] = caseJob(c, cfg, selection)
+	}
+	client := &cluster.Client{URL: url,
+		Progress: func(jr exp.JobResult) {
+			chaosDone.Add(1)
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
+		}}
+	results, err := client.RunBatch(ctx, jobs)
+	interrupted := err != nil && ctx.Err() != nil
+	out := make([]outcome, len(cases))
+	for i := range cases {
+		out[i] = outcomeFrom(cases[i], results[i], interrupted)
+		if !out[i].Interrupted && out[i].failed(flips) {
+			chaosFailed.Add(1)
+		}
+	}
 	return out
 }
 

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/profiling"
 	"repro/internal/report"
 )
@@ -51,6 +52,7 @@ func main() {
 		ckptDir = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
 		ckptN   = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listen  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
+		coord   = flag.String("coordinator", "", "run all simulations on a distributed fleet via this tlsserve URL (execution flags then apply coordinator/worker-side)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,19 @@ func main() {
 	}
 
 	opt := repro.Options{Seed: *seed, Jobs: *jobs, CacheDir: *cache, JobTimeout: *timeout}
+	if *coord != "" {
+		// Fleet mode: every batch travels to the coordinator; the rendered
+		// artifacts are identical to a local run because each simulation is
+		// a pure function of the job's content. Caching, journaling and
+		// checkpointing then happen coordinator- and worker-side.
+		opt.Batcher = &cluster.Client{URL: *coord, Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tlsreport: "+format+"\n", args...)
+		}}
+		if *cache != "" || *journal != "" || *resume != "" {
+			fmt.Fprintln(os.Stderr, "tlsreport: -coordinator set; -cache/-journal/-resume apply to tlsserve, ignoring locally")
+			*cache, *journal, *resume = "", "", ""
+		}
+	}
 	if *cache != "" {
 		// Fail fast on an unusable cache directory rather than silently
 		// running uncached.

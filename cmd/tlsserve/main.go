@@ -1,0 +1,183 @@
+// tlsserve is the distributed-campaign coordinator: it owns the job queue,
+// hands time-bounded leases to tlsworker processes, dedupes submissions
+// through the persistent result cache, journals every lease and completion
+// to the campaign WAL (a SIGKILL'd coordinator resumes mid-campaign with
+// -resume), speculatively re-issues stragglers, and serves the merged fleet
+// dashboard on /metrics and /progress.
+//
+// Usage:
+//
+//	tlsserve -listen :8100 -cache .tlscache -journal fleet.wal
+//	tlsserve -resume fleet.wal -cache .tlscache          # after a crash
+//	tlsserve -grid NUMA16 -apps Tree,Euler -seed 2        # preload a sweep
+//	tlsserve -lease-ttl 30s -straggler 2m -steal-after 30s
+//
+// Clients (tlsreport/tlssweep/tlschaos with -coordinator, or raw HTTP)
+// submit jobs; workers (tlsworker -coordinator URL) pull, execute and
+// report. With -exit-when-done the process exits 0 once every submitted job
+// has a final outcome — the batch-mode used by scripted campaigns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8100", "coordinator listen address")
+		cacheDir  = flag.String("cache", "", "persistent result-cache directory (dedupes submissions, absorbs fleet results)")
+		journalF  = flag.String("journal", "", "append the campaign WAL to this JSONL file (crash recovery via -resume)")
+		resumeF   = flag.String("resume", "", "resume a crashed coordinator from its journal (implies -journal)")
+		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat")
+		straggler = flag.Duration("straggler", 2*time.Minute, "re-issue a speculative duplicate of jobs leased this long (0 disables)")
+		stealW    = flag.Duration("steal-after", 30*time.Second, "idle workers steal duplicates of leases this old (0 disables)")
+		maxIssues = flag.Int("max-issues", 2, "max concurrent leases per job")
+		gridF     = flag.String("grid", "", "preload a grid campaign on this machine (NUMA16, NUMA16.L2, CMP8, NUMA<n>)")
+		schemesF  = flag.String("schemes", "", "semicolon-separated schemes for -grid (default: the Figure 9 set)")
+		appsF     = flag.String("apps", "", "comma-separated application subset for -grid (default: full standard suite)")
+		seed      = flag.Uint64("seed", 1, "workload seed for -grid")
+		exitDone  = flag.Bool("exit-when-done", false, "exit 0 once every submitted job has a final outcome")
+		name      = flag.String("name", "tlsserve", "campaign name (journal header, dashboard)")
+	)
+	flag.Parse()
+
+	die := func(context string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsserve: %s: %v\n", context, err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := cluster.Config{
+		Name:           *name,
+		LeaseTTL:       *leaseTTL,
+		StragglerAfter: durOff(*straggler),
+		StealAfter:     durOff(*stealW),
+		MaxIssues:      *maxIssues,
+	}
+	if *cacheDir != "" {
+		cache, err := exp.NewCache(*cacheDir)
+		die("cache", err)
+		cfg.Cache = cache
+	}
+
+	journalPath := *journalF
+	if *resumeF != "" {
+		journalPath = *resumeF
+		st, err := exp.LoadCampaign(*resumeF)
+		die("resume", err)
+		cfg.State = st
+		fmt.Fprintf(os.Stderr, "tlsserve: resuming %s: %d jobs done, %d dangling leases\n",
+			*resumeF, len(st.Done), len(st.Leases))
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "tlsserve: -resume without -cache re-runs completed non-chaotic jobs")
+		}
+	}
+	if journalPath != "" {
+		j, err := exp.OpenJournal(journalPath)
+		die("journal", err)
+		defer j.Close()
+		cfg.Journal = j
+	}
+
+	co := cluster.NewCoordinator(cfg)
+	addr, err := co.Start(*listen)
+	die("listen", err)
+	fmt.Printf("tlsserve: listening on http://%s\n", addr)
+
+	if *gridF != "" {
+		specs, err := gridSpecs(*gridF, *schemesF, *appsF, *seed)
+		die("grid", err)
+		resp := co.Submit(cluster.SubmitRequest{Jobs: specs})
+		fmt.Fprintf(os.Stderr, "tlsserve: preloaded %d grid jobs (%d already done)\n",
+			resp.Accepted, resp.Done)
+	}
+
+	// First SIGINT/SIGTERM stops serving and flushes the journal (exit 130);
+	// a second hard-exits. Workers survive a coordinator death: leases ride
+	// out in the WAL and a -resume picks the campaign back up.
+	sd := exp.NewShutdown(nil)
+	defer sd.Stop()
+
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sd.Context().Done():
+			co.Stop()
+			fmt.Fprintf(os.Stderr, "tlsserve: interrupted; resume with -resume %s\n", journalPath)
+			sd.Stop()
+			os.Exit(exp.ExitInterrupted)
+		case <-tick.C:
+			if !*exitDone {
+				continue
+			}
+			n := co.Counts()
+			if n.Total > 0 && n.Pending == 0 && n.Leased == 0 {
+				co.Stop()
+				fmt.Fprintf(os.Stderr, "tlsserve: campaign complete: %d done, %d failed\n", n.Done, n.Failed)
+				if n.Failed > 0 {
+					os.Exit(1)
+				}
+				return
+			}
+		}
+	}
+}
+
+// durOff maps the CLI convention (0 disables) onto the Config convention
+// (0 means default, negative disables).
+func durOff(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+// gridSpecs builds the wire specs of a figure-grid campaign, constructing
+// exactly the jobs a later `tlsreport -coordinator` run with the same
+// machine, apps and seed will ask for (same scaling, same order, same keys).
+func gridSpecs(machineName, schemesSpec, appsSpec string, seed uint64) ([]cluster.JobSpec, error) {
+	mach, err := cluster.ResolveMachine(machineName)
+	if err != nil {
+		return nil, err
+	}
+	schemes := report.Figure9Schemes()
+	if schemesSpec != "" {
+		schemes = schemes[:0]
+		for _, sname := range strings.Split(schemesSpec, ";") {
+			s, ok := core.SchemeFromString(strings.TrimSpace(sname))
+			if !ok {
+				return nil, fmt.Errorf("unknown scheme %q", sname)
+			}
+			schemes = append(schemes, s)
+		}
+	}
+	opt := report.Options{Seed: seed}
+	if appsSpec != "" {
+		for _, aname := range strings.Split(appsSpec, ",") {
+			p, ok := repro.AppByName(strings.TrimSpace(aname))
+			if !ok {
+				return nil, fmt.Errorf("unknown application %q", aname)
+			}
+			opt.Apps = append(opt.Apps, workload.StandardScale(p))
+		}
+	}
+	jobs := report.GridJobs(mach, schemes, opt)
+	specs := make([]cluster.JobSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = cluster.SpecOf(j)
+	}
+	return specs, nil
+}

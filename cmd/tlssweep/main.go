@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
+		coordF   = flag.String("coordinator", "", "run the sweep on a distributed fleet via this tlsserve URL (execution flags then apply coordinator/worker-side)")
 	)
 	flag.Parse()
 
@@ -132,9 +134,12 @@ func main() {
 		// Each job gets its own obs registry (they are not safe to share
 		// across workers); ObserveJob aggregates them into the /metrics
 		// tls_run_* counters. Obs is not part of the job key, so caching
-		// is unaffected.
-		for i := range jobs {
-			jobs[i].Obs = &repro.ObsConfig{Registry: repro.NewObsRegistry()}
+		// is unaffected. On a fleet run the registries stay local — workers
+		// observe with their own (-observe) and the coordinator merges them.
+		if *coordF == "" {
+			for i := range jobs {
+				jobs[i].Obs = &repro.ObsConfig{Registry: repro.NewObsRegistry()}
+			}
 		}
 		addr, err := tel.Start(*listenF)
 		die(err)
@@ -177,7 +182,20 @@ func main() {
 	runner.CheckpointDir = *ckptDir
 	runner.CheckpointEvery = *ckptN
 
-	results, err := runner.RunBatch(sd.Context(), jobs)
+	var results []repro.JobResult
+	var err error
+	if *coordF != "" {
+		// The fleet path: jobs travel to the coordinator by content key;
+		// caching, journaling and checkpointing happen coordinator- and
+		// worker-side. Results are identical to the local runner's.
+		client := &cluster.Client{URL: *coordF, Progress: runner.Progress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tlssweep: "+format+"\n", args...)
+			}}
+		results, err = client.RunBatch(sd.Context(), jobs)
+	} else {
+		results, err = runner.RunBatch(sd.Context(), jobs)
+	}
 	if sd.Interrupted() {
 		if journalPath != "" {
 			fmt.Fprintf(os.Stderr, "tlssweep: interrupted; resume with -resume %s\n", journalPath)

@@ -1,0 +1,106 @@
+// tlsworker is one member of a distributed campaign fleet: it pulls leased
+// jobs from a tlsserve coordinator, executes them through the hardened
+// experiment runner (watchdog, panic retry, checkpointing, fault injection
+// all intact), streams heartbeats and per-job observability counters back,
+// and steals speculative work when idle.
+//
+// Usage:
+//
+//	tlsworker -coordinator http://host:8100
+//	tlsworker -coordinator http://host:8100 -jobs 4 -observe
+//	tlsworker -coordinator http://host:8100 -checkpoint-dir .ckpt -job-timeout 2m
+//
+// Shutdown is graceful by default (-drain): the first SIGINT/SIGTERM stops
+// pulling, interrupts in-flight simulations (they checkpoint at their next
+// commit when -checkpoint-dir is set), returns unfinished leases to the
+// coordinator, delivers a final heartbeat, and exits 130. A second signal
+// hard-exits. With -drain=false the first signal exits immediately and the
+// coordinator reclaims the leases by TTL expiry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		coord    = flag.String("coordinator", "", "coordinator base URL (http://host:port); required")
+		name     = flag.String("name", "", "worker name (default host-pid)")
+		jobs     = flag.Int("jobs", 1, "concurrent leased jobs")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "idle wait between empty lease pulls")
+		timeout  = flag.Duration("job-timeout", 0, "per-job watchdog deadline (0 disables)")
+		retries  = flag.Int("retries", 1, "per-job panic-retry budget")
+		observe  = flag.Bool("observe", false, "attach an obs registry to every job and report counters on heartbeats")
+		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory")
+		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
+		drain    = flag.Bool("drain", true, "on the first signal, drain gracefully: interrupt in-flight simulations, release leases, exit 130")
+		metricsF = flag.Bool("metrics", false, "print a local run-metrics summary line to stderr at exit")
+	)
+	flag.Parse()
+
+	if *coord == "" {
+		fmt.Fprintln(os.Stderr, "tlsworker: -coordinator is required")
+		os.Exit(2)
+	}
+	wname := *name
+	if wname == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		wname = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var metrics *exp.Metrics
+	if *metricsF {
+		metrics = new(exp.Metrics)
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Name:            wname,
+		Coordinator:     *coord,
+		Parallel:        *jobs,
+		Poll:            *poll,
+		JobTimeout:      *timeout,
+		Retries:         *retries,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptN,
+		Observe:         *observe,
+		Metrics:         metrics,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tlsworker: "+format+"\n", args...)
+		},
+	})
+
+	// Two-stage shutdown: the first signal cancels the pull loop; Run then
+	// drains (interrupt, checkpoint, release, final heartbeat) before
+	// returning. A second signal hard-exits through the Shutdown handler.
+	sd := exp.NewShutdown(nil)
+	defer sd.Stop()
+	if !*drain {
+		go func() {
+			<-sd.Context().Done()
+			os.Exit(exp.ExitInterrupted)
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "tlsworker: %s pulling from %s (%d slots)\n", wname, *coord, *jobs)
+	err := w.Run(sd.Context())
+	if metrics != nil {
+		fmt.Fprintln(os.Stderr, "tlsworker "+metrics.Snapshot().String())
+	}
+	if sd.Interrupted() {
+		fmt.Fprintf(os.Stderr, "tlsworker: %s drained\n", wname)
+		sd.Stop()
+		os.Exit(exp.ExitInterrupted)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsworker: %v\n", err)
+		os.Exit(1)
+	}
+}

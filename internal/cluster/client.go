@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Client submits jobs to a coordinator and polls for their outcomes. It
+// implements the report.Batcher shape (RunBatch with the exp.Runner
+// signature), so `tlsreport -coordinator URL` renders the same artifacts
+// from fleet results that it renders from local ones.
+//
+// The client is crash-tolerant on both sides: submission is idempotent by
+// job key, transient connection errors back off and retry, and keys a
+// restarted coordinator no longer recognizes are simply re-submitted — so a
+// coordinator SIGKILL'd and resumed mid-campaign is survived without caller
+// involvement.
+type Client struct {
+	// URL is the coordinator's base URL (http://host:port).
+	URL string
+	// Poll is the result-polling interval (default 200ms).
+	Poll time.Duration
+	// Progress, when non-nil, is called once per job as its outcome arrives.
+	Progress func(exp.JobResult)
+	// Logf, when non-nil, receives operational log lines (reconnects).
+	Logf func(format string, args ...any)
+	// HTTP overrides the transport; nil uses a client with sane timeouts.
+	HTTP *http.Client
+}
+
+// submitChunk bounds jobs per submit POST; resultsChunk keys per poll.
+const (
+	submitChunk  = 200
+	resultsChunk = 500
+)
+
+func (c *Client) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.Poll
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunBatch submits the jobs and blocks until every outcome arrived or ctx
+// died. Results come back in submission order; like exp.Runner.RunBatch, the
+// returned error is only non-nil when ctx is cancelled, in which case
+// unresolved jobs carry ctx's error.
+func (c *Client) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]exp.JobResult, len(jobs))
+	resolved := make([]bool, len(jobs))
+
+	// Duplicate keys within a batch resolve together from one outcome.
+	specs := make([]JobSpec, len(jobs))
+	byKey := make(map[string][]int)
+	var keys []string // distinct, submission order
+	for i, j := range jobs {
+		specs[i] = SpecOf(j)
+		key := specs[i].Key
+		if _, ok := byKey[key]; !ok {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+
+	if err := c.submit(ctx, specs); err != nil {
+		return c.abandon(ctx, jobs, out, resolved), err
+	}
+
+	pending := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		pending[key] = true
+	}
+	hc := c.client()
+	for len(pending) > 0 {
+		if !sleepCtx(ctx, c.poll()) {
+			return c.abandon(ctx, jobs, out, resolved), ctx.Err()
+		}
+		ask := make([]string, 0, len(pending))
+		for _, key := range keys {
+			if pending[key] {
+				ask = append(ask, key)
+			}
+		}
+		var unknown []string
+		failed := false
+		for start := 0; start < len(ask); start += resultsChunk {
+			end := min(start+resultsChunk, len(ask))
+			var resp ResultsResponse
+			if err := postJSON(hc, c.URL+"/v1/results", ResultsRequest{Keys: ask[start:end]}, &resp); err != nil {
+				c.logf("cluster client: poll: %v (will retry)", err)
+				failed = true
+				break
+			}
+			for key, env := range resp.Results {
+				if !pending[key] {
+					continue
+				}
+				jr, ok := c.decode(jobs, byKey[key], env)
+				if !ok {
+					continue // corrupt envelope: re-poll
+				}
+				delete(pending, key)
+				for _, i := range byKey[key] {
+					out[i] = jr
+					out[i].Job = jobs[i]
+					resolved[i] = true
+					if c.Progress != nil {
+						c.Progress(out[i])
+					}
+				}
+			}
+			unknown = append(unknown, resp.Unknown...)
+		}
+		if failed || len(unknown) > 0 {
+			// A coordinator restart: back off, then re-submit whatever is
+			// still pending (idempotent; a resumed coordinator answers the
+			// finished ones from its journal and cache instantly).
+			if !sleepCtx(ctx, c.poll()) {
+				return c.abandon(ctx, jobs, out, resolved), ctx.Err()
+			}
+			remaining := make([]JobSpec, 0, len(pending))
+			seen := make(map[string]bool, len(pending))
+			for _, s := range specs {
+				if pending[s.Key] && !seen[s.Key] {
+					seen[s.Key] = true
+					remaining = append(remaining, s)
+				}
+			}
+			if err := c.submit(ctx, remaining); err != nil {
+				return c.abandon(ctx, jobs, out, resolved), err
+			}
+		}
+	}
+	return out, nil
+}
+
+// decode maps one sealed outcome onto a JobResult template for its indices.
+func (c *Client) decode(jobs []exp.Job, idx []int, env Envelope) (exp.JobResult, bool) {
+	var o Outcome
+	if err := env.Open(&o); err != nil {
+		c.logf("cluster client: rejecting outcome: %v", err)
+		return exp.JobResult{}, false
+	}
+	jr := exp.JobResult{
+		Result: o.Result, Chaos: o.Chaos, Cached: o.Cached,
+		Attempts: o.Attempts, Wall: time.Duration(o.WallMS) * time.Millisecond,
+	}
+	if o.Err != "" {
+		job := jobs[idx[0]]
+		jr.Err = fmt.Errorf("job %s (remote %s): %s", job.Label(), o.Worker, o.Err)
+		jr.TimedOut = o.TimedOut
+	}
+	return jr, true
+}
+
+// submit registers specs with the coordinator, retrying through transient
+// errors until ctx dies.
+func (c *Client) submit(ctx context.Context, specs []JobSpec) error {
+	hc := c.client()
+	for start := 0; start < len(specs); start += submitChunk {
+		end := min(start+submitChunk, len(specs))
+		backoff := 100 * time.Millisecond
+		for {
+			var resp SubmitResponse
+			err := postJSON(hc, c.URL+"/v1/submit", SubmitRequest{Jobs: specs[start:end]}, &resp)
+			if err == nil {
+				break
+			}
+			c.logf("cluster client: submit: %v (will retry)", err)
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+	return nil
+}
+
+// abandon fills every unresolved slot with ctx's error, mirroring the local
+// Runner's cancellation contract.
+func (c *Client) abandon(ctx context.Context, jobs []exp.Job, out []exp.JobResult, resolved []bool) []exp.JobResult {
+	err := ctx.Err()
+	if err == nil {
+		err = errors.New("cluster: batch abandoned")
+	}
+	for i := range out {
+		if !resolved[i] {
+			out[i] = exp.JobResult{Job: jobs[i], Err: fmt.Errorf("job %s: %w", jobs[i].Label(), err)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func tinyProfile() workload.Profile {
+	return workload.Tree().Scale(0.05, 0.05, 0.25)
+}
+
+// testJobs is a small mixed batch: a sequential baseline, plain speculative
+// runs across two schemes, and a chaotic run with fault injection and the
+// invariant checker armed.
+func testJobs() []exp.Job {
+	prof := tinyProfile()
+	cfg := machine.CMP8()
+	fc := fault.CampaignConfig(3)
+	return []exp.Job{
+		{Machine: cfg, Profile: prof, Seed: 1, Sequential: true},
+		{Machine: cfg, Scheme: core.SingleTEager, Profile: prof, Seed: 1},
+		{Machine: cfg, Scheme: core.MultiTMVLazy, Profile: prof, Seed: 1},
+		{Machine: cfg, Scheme: core.MultiTMVLazy, Profile: prof, Seed: 2},
+		{Machine: cfg, Scheme: core.MultiTSVLazy, Profile: prof, Seed: 1, Faults: &fc, Invariants: true},
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	fc := fault.CampaignConfig(7)
+	jobs := []exp.Job{
+		{Machine: machine.NUMA16(), Scheme: core.MultiTMVLazy, Profile: tinyProfile(), Seed: 1},
+		{Machine: machine.NUMA16BigL2(), Scheme: core.MultiTMVLazy, Profile: tinyProfile(), Seed: 2},
+		{Machine: machine.CMP8(), Profile: tinyProfile(), Seed: 3, Sequential: true},
+		{Machine: machine.ScalableNUMA(8), Scheme: core.SingleTEager, Profile: tinyProfile(), Seed: 4,
+			Ablation: exp.Ablation{LineGranularity: true}},
+		{Machine: machine.CMP8(), Scheme: core.MultiTSVLazy, Profile: tinyProfile(), Seed: 5,
+			Faults: &fc, Invariants: true},
+	}
+	for i, j := range jobs {
+		spec := SpecOf(j)
+		back, err := spec.Job()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if back.Key() != j.Key() {
+			t.Fatalf("job %d: key changed across the wire", i)
+		}
+	}
+	bad := SpecOf(jobs[0])
+	bad.Machine = "PDP11"
+	if _, err := bad.Job(); err == nil {
+		t.Fatal("unknown machine resolved")
+	}
+	skewed := SpecOf(jobs[0])
+	skewed.Seed++ // sender and receiver now disagree about the job
+	if _, err := skewed.Job(); err == nil || !strings.Contains(err.Error(), "key") {
+		t.Fatalf("key mismatch not detected: %v", err)
+	}
+}
+
+func TestEnvelopeChecksum(t *testing.T) {
+	env, err := Seal(Outcome{Key: "k", Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Outcome
+	if err := env.Open(&o); err != nil || o.Key != "k" {
+		t.Fatalf("round trip: %v %+v", err, o)
+	}
+	env.Payload[2] ^= 0x40
+	if err := env.Open(&o); err == nil {
+		t.Fatal("tampered envelope opened")
+	}
+}
+
+// startFabric boots an HTTP coordinator and n workers on the loopback,
+// returning the coordinator, its URL, and a shutdown function.
+func startFabric(t *testing.T, cfg Config, n int, wcfg WorkerConfig) (*Coordinator, string, func()) {
+	t.Helper()
+	co := NewCoordinator(cfg)
+	addr, err := co.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := wcfg
+		w.Coordinator = url
+		if w.Name == "" {
+			w.Name = "w" + string(rune('1'+i))
+		} else {
+			w.Name += string(rune('1' + i))
+		}
+		if w.Poll == 0 {
+			w.Poll = 20 * time.Millisecond
+		}
+		wk := NewWorker(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk.Run(ctx)
+		}()
+	}
+	return co, url, func() {
+		cancel()
+		wg.Wait()
+		co.Stop()
+	}
+}
+
+// TestFabricParity runs a mixed batch (sequential, plain, and fault-injected
+// chaotic jobs) through a coordinator with two observing workers and
+// requires results reflect.DeepEqual-identical to a local serial run by
+// unobserved workers — the distributed analogue of the observer-effect and
+// determinism guarantees.
+func TestFabricParity(t *testing.T) {
+	jobs := testJobs()
+	local, err := (&exp.Runner{Workers: 1}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := exp.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url, stop := startFabric(t, Config{Name: "parity", Cache: cache}, 2, WorkerConfig{Observe: true})
+	defer stop()
+
+	client := &Client{URL: url, Poll: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	remote, err := client.RunBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if remote[i].Err != nil {
+			t.Fatalf("job %d (%s): %v", i, jobs[i].Label(), remote[i].Err)
+		}
+		if !reflect.DeepEqual(local[i].Result, remote[i].Result) {
+			t.Fatalf("job %d (%s): fleet result differs from local run", i, jobs[i].Label())
+		}
+		if !reflect.DeepEqual(local[i].Chaos, remote[i].Chaos) {
+			t.Fatalf("job %d (%s): chaos verdict differs: local %+v remote %+v",
+				i, jobs[i].Label(), local[i].Chaos, remote[i].Chaos)
+		}
+	}
+	if local[4].Chaos == nil {
+		t.Fatal("chaotic job produced no verdict")
+	}
+
+	// The merged dashboard: fleet counters plus aggregated tls_run_* series
+	// from the observing workers.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"tls_fleet_jobs_done 5", "tls_fleet_leases_granted", "tls_fleet_steals",
+		"tls_fleet_straggler_reissues", "tls_fleet_dedupe_hits", "tls_run_",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Idempotent resubmission: every job answers from the fabric's state
+	// without re-execution (dedupe on the tracked keys).
+	again, err := client.RunBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(remote[i].Result, again[i].Result) {
+			t.Fatalf("job %d: resubmission changed the result", i)
+		}
+	}
+}
+
+// fixedClock is an injectable coordinator clock.
+type fixedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fixedClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fixedClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// submitOne registers a single pending job and returns its spec.
+func submitOne(t *testing.T, co *Coordinator, seed uint64) JobSpec {
+	t.Helper()
+	spec := SpecOf(exp.Job{Machine: machine.CMP8(), Scheme: core.MultiTMVLazy, Profile: tinyProfile(), Seed: seed})
+	resp := co.Submit(SubmitRequest{Jobs: []JobSpec{spec}})
+	if resp.Accepted != 1 || resp.Done != 0 {
+		t.Fatalf("submit: %+v", resp)
+	}
+	return spec
+}
+
+func sealOutcome(t *testing.T, o Outcome) Envelope {
+	t.Helper()
+	env, err := Seal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Second, StragglerAfter: -1, StealAfter: -1})
+	co.now = clk.now
+	spec := submitOne(t, co, 1)
+
+	lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1})
+	if len(lr.Leases) != 1 {
+		t.Fatalf("lease: %+v", lr)
+	}
+	// No heartbeat: the lease dies and the job goes back to the queue.
+	clk.advance(2 * time.Second)
+	lr2 := co.LeaseJobs(LeaseRequest{Worker: "w2", Max: 1})
+	if len(lr2.Leases) != 1 || lr2.Leases[0].Spec.Key != spec.Key {
+		t.Fatalf("expired job not re-leased: %+v", lr2)
+	}
+	if lr2.Leases[0].Speculative {
+		t.Fatal("requeued job granted as speculative")
+	}
+	if co.ctr.leasesExpired != 1 || co.ctr.requeues != 1 {
+		t.Fatalf("counters: %+v", co.ctr)
+	}
+	// The dead worker's late completion still wins: its lease is gone but
+	// the result is valid.
+	done := co.Complete(CompleteRequest{
+		Worker: "w1", Lease: lr.Leases[0].ID, Key: spec.Key,
+		Env: sealOutcome(t, Outcome{Key: spec.Key, Worker: "w1"}),
+	})
+	if !done.Accepted || done.Duplicate {
+		t.Fatalf("late completion: %+v", done)
+	}
+	// And w2's duplicate is counted, not double-applied.
+	dup := co.Complete(CompleteRequest{
+		Worker: "w2", Lease: lr2.Leases[0].ID, Key: spec.Key,
+		Env: sealOutcome(t, Outcome{Key: spec.Key, Worker: "w2"}),
+	})
+	if !dup.Duplicate || co.ctr.dupResults != 1 {
+		t.Fatalf("duplicate result not detected: %+v %+v", dup, co.ctr)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Second, StragglerAfter: -1, StealAfter: -1})
+	co.now = clk.now
+	submitOne(t, co, 1)
+	lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1})
+	for i := 0; i < 5; i++ {
+		clk.advance(600 * time.Millisecond)
+		co.Heartbeat(HeartbeatRequest{Worker: "w1", Leases: []uint64{lr.Leases[0].ID}})
+	}
+	if co.ctr.leasesExpired != 0 {
+		t.Fatalf("heartbeated lease expired: %+v", co.ctr)
+	}
+}
+
+func TestStragglerReissueAndSteal(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Minute, StragglerAfter: 5 * time.Second, StealAfter: 5 * time.Second})
+	co.now = clk.now
+	spec := submitOne(t, co, 1)
+
+	lr := co.LeaseJobs(LeaseRequest{Worker: "slow", Max: 1})
+	if len(lr.Leases) != 1 {
+		t.Fatalf("lease: %+v", lr)
+	}
+	// Not a straggler yet: an idle worker gets nothing.
+	if got := co.LeaseJobs(LeaseRequest{Worker: "idle", Max: 1}); len(got.Leases) != 0 {
+		t.Fatalf("stole a healthy lease: %+v", got)
+	}
+	// Past the threshold (heartbeats keep the lease itself alive) the job is
+	// re-issued speculatively to the idle worker.
+	clk.advance(6 * time.Second)
+	co.Heartbeat(HeartbeatRequest{Worker: "slow", Leases: []uint64{lr.Leases[0].ID}})
+	got := co.LeaseJobs(LeaseRequest{Worker: "idle", Max: 1})
+	if len(got.Leases) != 1 || !got.Leases[0].Speculative || got.Leases[0].Spec.Key != spec.Key {
+		t.Fatalf("straggler not re-issued: %+v", got)
+	}
+	if co.ctr.stragglerReissues != 1 {
+		t.Fatalf("counters: %+v", co.ctr)
+	}
+	// MaxIssues (default 2) caps further duplicates.
+	if extra := co.LeaseJobs(LeaseRequest{Worker: "third", Max: 1}); len(extra.Leases) != 0 {
+		t.Fatalf("issued past MaxIssues: %+v", extra)
+	}
+	// The speculative copy wins; the straggler is told to abandon its lease.
+	win := co.Complete(CompleteRequest{
+		Worker: "idle", Lease: got.Leases[0].ID, Key: spec.Key,
+		Env: sealOutcome(t, Outcome{Key: spec.Key, Worker: "idle"}),
+	})
+	if !win.Accepted || win.Duplicate {
+		t.Fatalf("winning completion: %+v", win)
+	}
+	hb := co.Heartbeat(HeartbeatRequest{Worker: "slow", Leases: []uint64{lr.Leases[0].ID}})
+	if len(hb.Cancel) != 1 || hb.Cancel[0] != lr.Leases[0].ID {
+		t.Fatalf("straggler not cancelled: %+v", hb)
+	}
+}
+
+func TestCompleteRejectsCorruptEnvelope(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Minute, StragglerAfter: -1, StealAfter: -1})
+	co.now = clk.now
+	spec := submitOne(t, co, 1)
+	lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1})
+	env := sealOutcome(t, Outcome{Key: spec.Key, Worker: "w1"})
+	env.Payload[2] ^= 0x40
+	resp := co.Complete(CompleteRequest{Worker: "w1", Lease: lr.Leases[0].ID, Key: spec.Key, Env: env})
+	if resp.Accepted {
+		t.Fatal("corrupt envelope accepted")
+	}
+	if co.ctr.crcRejected != 1 {
+		t.Fatalf("counters: %+v", co.ctr)
+	}
+	// The job survives the bad body and is re-leasable.
+	lr2 := co.LeaseJobs(LeaseRequest{Worker: "w2", Max: 1})
+	if len(lr2.Leases) != 1 || lr2.Leases[0].Spec.Key != spec.Key {
+		t.Fatalf("job lost after CRC rejection: %+v", lr2)
+	}
+}
+
+func TestTimeoutFailsPermanently(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Minute, StragglerAfter: -1, StealAfter: -1})
+	co.now = clk.now
+	spec := submitOne(t, co, 1)
+	lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1})
+	co.Complete(CompleteRequest{
+		Worker: "w1", Lease: lr.Leases[0].ID, Key: spec.Key,
+		Env: sealOutcome(t, Outcome{Key: spec.Key, Worker: "w1", Err: "job hung", TimedOut: true}),
+	})
+	res := co.Results(ResultsRequest{Keys: []string{spec.Key}})
+	env, ok := res.Results[spec.Key]
+	if !ok {
+		t.Fatalf("timed-out job still pending: %+v", res)
+	}
+	var o Outcome
+	if err := env.Open(&o); err != nil || !o.TimedOut {
+		t.Fatalf("outcome: %v %+v", err, o)
+	}
+	if n := co.Counts(); n.Failed != 1 {
+		t.Fatalf("counts: %+v", n)
+	}
+}
+
+func TestTransientFailureRetriesThenFails(t *testing.T) {
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	co := NewCoordinator(Config{LeaseTTL: time.Minute, StragglerAfter: -1, StealAfter: -1})
+	co.now = clk.now
+	spec := submitOne(t, co, 1)
+	for round := 1; round <= 2; round++ {
+		lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1})
+		if len(lr.Leases) != 1 {
+			t.Fatalf("round %d: job not leasable: %+v", round, lr)
+		}
+		co.Complete(CompleteRequest{
+			Worker: "w1", Lease: lr.Leases[0].ID, Key: spec.Key,
+			Env: sealOutcome(t, Outcome{Key: spec.Key, Worker: "w1", Err: "panic"}),
+		})
+	}
+	// FailLimit (default 2) reached: permanently failed, no more leases.
+	if lr := co.LeaseJobs(LeaseRequest{Worker: "w1", Max: 1}); len(lr.Leases) != 0 {
+		t.Fatalf("failed job still leasable: %+v", lr)
+	}
+	if n := co.Counts(); n.Failed != 1 {
+		t.Fatalf("counts: %+v", n)
+	}
+}

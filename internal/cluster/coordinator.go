@@ -1,0 +1,862 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Coordinator. The zero value works for tests: no
+// cache, no journal, default lease policy.
+type Config struct {
+	// Name labels the campaign (journal header, dashboard).
+	Name string
+	// Cache, when non-nil, dedupes submitted jobs against prior results
+	// before they are ever leased, and absorbs completed results so a future
+	// campaign (or a serial rerun) reuses them.
+	Cache *exp.Cache
+	// Journal, when non-nil, receives the campaign WAL: every lease,
+	// lease-return and completion is durable before it is acknowledged, so a
+	// SIGKILL'd coordinator resumes mid-campaign.
+	Journal *exp.Journal
+	// State seeds the coordinator from a replayed journal (exp.LoadCampaign):
+	// completed keys answer instantly, keys with a dead lease re-queue.
+	State exp.CampaignState
+	// LeaseTTL is how long a lease survives without a heartbeat (default 30s).
+	LeaseTTL time.Duration
+	// StragglerAfter re-queues a speculative duplicate of any job whose
+	// oldest lease is this old (default 2m; < 0 disables).
+	StragglerAfter time.Duration
+	// StealAfter lets an idle worker steal a duplicate of a job another
+	// worker has held this long (default 30s; < 0 disables).
+	StealAfter time.Duration
+	// MaxIssues caps concurrent leases per job (default 2: the original
+	// plus one speculative re-execution).
+	MaxIssues int
+	// FailLimit is how many distinct failed executions a job gets before it
+	// is failed permanently (default 2). Watchdog timeouts fail immediately:
+	// a deterministic simulation that hung once will hang everywhere.
+	FailLimit int
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 30 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c Config) stragglerAfter() time.Duration {
+	switch {
+	case c.StragglerAfter < 0:
+		return 0
+	case c.StragglerAfter == 0:
+		return 2 * time.Minute
+	default:
+		return c.StragglerAfter
+	}
+}
+
+func (c Config) stealAfter() time.Duration {
+	switch {
+	case c.StealAfter < 0:
+		return 0
+	case c.StealAfter == 0:
+		return 30 * time.Second
+	default:
+		return c.StealAfter
+	}
+}
+
+func (c Config) maxIssues() int {
+	if c.MaxIssues <= 0 {
+		return 2
+	}
+	return c.MaxIssues
+}
+
+func (c Config) failLimit() int {
+	if c.FailLimit <= 0 {
+		return 2
+	}
+	return c.FailLimit
+}
+
+// Chaotic reports whether the spec carries chaos instrumentation (mirrors
+// exp.Job: such jobs bypass the result cache because their verdict is not
+// reconstructible from sim.Result).
+func (s JobSpec) Chaotic() bool {
+	return s.Invariants || s.Faults != nil
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobLeased
+	jobDone
+	jobFailed
+)
+
+// jobEntry is the coordinator's record of one distinct job key.
+type jobEntry struct {
+	spec       JobSpec
+	job        exp.Job // resolved from spec (only valid when resolveErr == "")
+	resolveErr string
+
+	state       jobState
+	queued      bool // present in the pending queue
+	leases      map[uint64]*lease
+	issues      int  // leases ever granted
+	failures    int  // failed executions so far
+	reissued    bool // a straggler re-issue was already queued
+	firstLeased time.Time
+
+	outcome Envelope // sealed Outcome once state is jobDone or jobFailed
+	lastErr Envelope // most recent failed execution, for the permanent fail
+}
+
+// lease is one active grant of a job to a worker.
+type lease struct {
+	id          uint64
+	key         string
+	worker      string
+	deadline    time.Time
+	speculative bool
+}
+
+// workerState tracks one fleet worker as seen from the coordinator.
+type workerState struct {
+	lastSeen  time.Time
+	counters  map[string]uint64 // absolute obs totals from heartbeats
+	cancel    []uint64          // leases to abandon, drained by heartbeat
+	completed int
+}
+
+// fleetCounters are the dashboard's scheduling counters.
+type fleetCounters struct {
+	leasesGranted     uint64
+	leasesExpired     uint64
+	leasesReturned    uint64
+	steals            uint64
+	stragglerReissues uint64
+	dedupeHits        uint64 // submissions joined to an already-tracked key
+	cacheHits         uint64 // submissions answered by the result cache
+	resumeHits        uint64 // submissions answered by the replayed journal
+	dupResults        uint64 // valid results for already-finished jobs
+	crcRejected       uint64 // completions failing the envelope checksum
+	requeues          uint64
+	journalErrors     uint64
+}
+
+// Coordinator owns a campaign: the job set, the lease table, the journal and
+// the result cache. All exported methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	order    []string // submission order, for /progress
+	queue    []string // pending keys, FIFO
+	leases   map[uint64]*lease
+	leaseSeq uint64
+	workers  map[string]*workerState
+	ctr      fleetCounters
+
+	ln   net.Listener
+	srv  *http.Server
+	stop chan struct{}
+}
+
+// NewCoordinator builds a coordinator and journals the campaign header.
+func NewCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg,
+		now:     time.Now,
+		jobs:    make(map[string]*jobEntry),
+		leases:  make(map[uint64]*lease),
+		workers: make(map[string]*workerState),
+	}
+	if cfg.Journal != nil && cfg.Name != "" {
+		c.journalAppend(exp.JournalRecord{T: exp.RecCampaign, Name: cfg.Name})
+	}
+	return c
+}
+
+func (c *Coordinator) journalAppend(rec exp.JournalRecord) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	if err := c.cfg.Journal.Append(rec); err != nil {
+		c.ctr.journalErrors++
+	}
+}
+
+// Submit registers jobs (idempotent by key) and resolves as many as possible
+// without leasing: joins to tracked keys, resumed outcomes from the replayed
+// journal, and result-cache hits.
+func (c *Coordinator) Submit(req SubmitRequest) SubmitResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	var resp SubmitResponse
+	for _, spec := range req.Jobs {
+		if spec.Key == "" {
+			continue
+		}
+		if e, ok := c.jobs[spec.Key]; ok {
+			c.ctr.dedupeHits++
+			if e.state == jobDone || e.state == jobFailed {
+				resp.Done++
+			}
+			continue
+		}
+		e := &jobEntry{spec: spec, leases: make(map[uint64]*lease)}
+		if job, err := spec.Job(); err != nil {
+			e.resolveErr = err.Error()
+		} else {
+			e.job = job
+		}
+		c.jobs[spec.Key] = e
+		c.order = append(c.order, spec.Key)
+		resp.Accepted++
+		if c.settleWithoutRunLocked(e) {
+			resp.Done++
+			continue
+		}
+		c.enqueueLocked(e)
+	}
+	return resp
+}
+
+// settleWithoutRunLocked tries to finish a freshly submitted entry without
+// leasing it: an unresolvable spec fails it, a journaled outcome or a result
+// cache hit completes it.
+func (c *Coordinator) settleWithoutRunLocked(e *jobEntry) bool {
+	key := e.spec.Key
+	if e.resolveErr != "" {
+		env, err := Seal(Outcome{Key: key, Err: e.resolveErr})
+		if err == nil {
+			e.outcome = env
+		}
+		e.state = jobFailed
+		return true
+	}
+	// A completed key from the replayed journal: chaotic outcomes travel in
+	// the journal itself, plain ones are reconstructed from the cache below.
+	if env, ok := c.cfg.State.Outcomes[key]; ok {
+		var stored Envelope
+		if json.Unmarshal(env, &stored) == nil && stored.Open(&Outcome{}) == nil {
+			e.outcome = stored
+			e.state = jobDone
+			c.ctr.resumeHits++
+			return true
+		}
+	}
+	if c.cfg.Cache != nil && !e.spec.Chaotic() {
+		if res, ok := c.cfg.Cache.Get(e.job); ok {
+			env, err := Seal(Outcome{Key: key, Result: res, Cached: true})
+			if err == nil {
+				e.outcome = env
+				e.state = jobDone
+				if c.cfg.State.Done[key] {
+					c.ctr.resumeHits++
+				} else {
+					c.ctr.cacheHits++
+					c.journalAppend(exp.JournalRecord{
+						T: exp.RecJobDone, Key: key, Label: e.job.Label(), Cached: true,
+					})
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) enqueueLocked(e *jobEntry) {
+	if e.queued || e.state == jobDone || e.state == jobFailed {
+		return
+	}
+	e.queued = true
+	c.queue = append(c.queue, e.spec.Key)
+}
+
+// LeaseJobs grants up to req.Max pending jobs to the worker; an idle fleet
+// steals a speculative duplicate of the longest-held lease.
+func (c *Coordinator) LeaseJobs(req LeaseRequest) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.touchWorkerLocked(req.Worker)
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	var resp LeaseResponse
+	for len(resp.Leases) < max {
+		e := c.popQueueLocked()
+		if e == nil {
+			break
+		}
+		resp.Leases = append(resp.Leases, c.grantLocked(e, req.Worker))
+	}
+	if len(resp.Leases) == 0 && c.cfg.stealAfter() > 0 {
+		if e := c.stealCandidateLocked(req.Worker); e != nil {
+			c.ctr.steals++
+			resp.Leases = append(resp.Leases, c.grantLocked(e, req.Worker))
+		}
+	}
+	return resp
+}
+
+// popQueueLocked pops the next leasable entry, dropping keys that finished
+// while queued.
+func (c *Coordinator) popQueueLocked() *jobEntry {
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		e := c.jobs[key]
+		if e == nil || !e.queued {
+			continue
+		}
+		e.queued = false
+		if e.state == jobDone || e.state == jobFailed {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+func (c *Coordinator) grantLocked(e *jobEntry, worker string) Lease {
+	now := c.now()
+	c.leaseSeq++
+	l := &lease{
+		id:          c.leaseSeq,
+		key:         e.spec.Key,
+		worker:      worker,
+		deadline:    now.Add(c.cfg.leaseTTL()),
+		speculative: len(e.leases) > 0,
+	}
+	c.leases[l.id] = l
+	e.leases[l.id] = l
+	e.issues++
+	if len(e.leases) == 1 {
+		e.firstLeased = now
+	}
+	e.state = jobLeased
+	c.ctr.leasesGranted++
+	c.journalAppend(exp.JournalRecord{
+		T: exp.RecLease, Key: l.key, Label: e.label(), Worker: worker, Lease: l.id,
+	})
+	return Lease{ID: l.id, Spec: e.spec, TTLMS: c.cfg.leaseTTL().Milliseconds(), Speculative: l.speculative}
+}
+
+func (e *jobEntry) label() string {
+	if e.resolveErr == "" {
+		return e.job.Label()
+	}
+	return e.spec.Key
+}
+
+// stealCandidateLocked picks the entry with the oldest lease older than
+// StealAfter that can take another issue and is not already running on this
+// worker.
+func (c *Coordinator) stealCandidateLocked(worker string) *jobEntry {
+	now := c.now()
+	var best *jobEntry
+	for _, key := range c.order {
+		e := c.jobs[key]
+		if e.state != jobLeased || e.queued || len(e.leases) == 0 || len(e.leases) >= c.cfg.maxIssues() {
+			continue
+		}
+		if now.Sub(e.firstLeased) < c.cfg.stealAfter() {
+			continue
+		}
+		held := false
+		for _, l := range e.leases {
+			if l.worker == worker {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
+		}
+		if best == nil || e.firstLeased.Before(best.firstLeased) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Heartbeat extends the worker's leases and absorbs its obs counter totals;
+// the response lists leases whose jobs finished elsewhere.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	w := c.touchWorkerLocked(req.Worker)
+	deadline := c.now().Add(c.cfg.leaseTTL())
+	for _, id := range req.Leases {
+		if l := c.leases[id]; l != nil && l.worker == req.Worker {
+			l.deadline = deadline
+		}
+	}
+	if req.Counters != nil {
+		w.counters = req.Counters
+	}
+	resp := HeartbeatResponse{Cancel: w.cancel}
+	w.cancel = nil
+	return resp
+}
+
+// Complete ingests one lease's sealed outcome. The first valid result wins;
+// later duplicates are counted and discarded. A checksum failure rejects the
+// body and re-queues the job if nothing else is running it.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	w := c.touchWorkerLocked(req.Worker)
+	e := c.jobs[req.Key]
+	if e == nil {
+		return CompleteResponse{}
+	}
+	if l := c.leases[req.Lease]; l != nil && l.key == req.Key {
+		c.dropLeaseLocked(l)
+	}
+	var o Outcome
+	if err := req.Env.Open(&o); err != nil || o.Key != req.Key {
+		c.ctr.crcRejected++
+		c.maybeRequeueLocked(e)
+		return CompleteResponse{}
+	}
+	if e.state == jobDone || e.state == jobFailed {
+		c.ctr.dupResults++
+		return CompleteResponse{Accepted: true, Duplicate: true}
+	}
+	if o.Err != "" {
+		e.failures++
+		e.lastErr = req.Env
+		if o.TimedOut {
+			// Deterministic hang: re-running it anywhere only hangs again.
+			e.failures = c.cfg.failLimit()
+		}
+		if len(e.leases) == 0 {
+			if e.failures >= c.cfg.failLimit() {
+				c.failLocked(e, req.Env, o)
+			} else {
+				c.maybeRequeueLocked(e)
+			}
+		}
+		return CompleteResponse{Accepted: true}
+	}
+	e.outcome = req.Env
+	e.state = jobDone
+	w.completed++
+	if c.cfg.Cache != nil && !e.spec.Chaotic() && e.resolveErr == "" {
+		c.cfg.Cache.Put(e.job, o.Result)
+	}
+	rec := exp.JournalRecord{T: exp.RecJobDone, Key: req.Key, Label: e.label(), Worker: req.Worker}
+	if e.spec.Chaotic() {
+		// The verdict is not reconstructible from the result cache, so the
+		// sealed outcome itself rides in the journal for crash-resume.
+		if data, err := json.Marshal(req.Env); err == nil {
+			rec.Data = data
+		}
+	}
+	c.journalAppend(rec)
+	c.cancelSiblingsLocked(e)
+	return CompleteResponse{Accepted: true}
+}
+
+// failLocked marks the entry permanently failed with the given outcome.
+func (c *Coordinator) failLocked(e *jobEntry, env Envelope, o Outcome) {
+	e.outcome = env
+	e.state = jobFailed
+	c.journalAppend(exp.JournalRecord{
+		T: exp.RecJobDone, Key: e.spec.Key, Label: e.label(), Worker: o.Worker, Err: o.Err,
+	})
+	c.cancelSiblingsLocked(e)
+}
+
+// cancelSiblingsLocked voids every remaining lease of a finished entry and
+// queues cancellation notices for their workers.
+func (c *Coordinator) cancelSiblingsLocked(e *jobEntry) {
+	for id, l := range e.leases {
+		c.dropLeaseLocked(l)
+		if w := c.workers[l.worker]; w != nil {
+			w.cancel = append(w.cancel, id)
+		}
+	}
+}
+
+// Release returns leases without outcomes (drain or acknowledged cancel).
+func (c *Coordinator) Release(req ReleaseRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.touchWorkerLocked(req.Worker)
+	for _, id := range req.Leases {
+		l := c.leases[id]
+		if l == nil || l.worker != req.Worker {
+			continue
+		}
+		c.dropLeaseLocked(l)
+		c.ctr.leasesReturned++
+		e := c.jobs[l.key]
+		c.journalAppend(exp.JournalRecord{
+			T: exp.RecLeaseReturn, Key: l.key, Label: e.label(), Worker: req.Worker, Lease: id,
+		})
+		c.maybeRequeueLocked(e)
+	}
+}
+
+// Results returns sealed outcomes for every finished requested key.
+func (c *Coordinator) Results(req ResultsRequest) ResultsResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp := ResultsResponse{Results: make(map[string]Envelope)}
+	for _, key := range req.Keys {
+		e := c.jobs[key]
+		if e == nil {
+			resp.Pending++
+			resp.Unknown = append(resp.Unknown, key)
+			continue
+		}
+		if e.state == jobDone || e.state == jobFailed {
+			resp.Results[key] = e.outcome
+		} else {
+			resp.Pending++
+		}
+	}
+	return resp
+}
+
+// dropLeaseLocked removes a lease from both tables (does not journal).
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	delete(c.leases, l.id)
+	if e := c.jobs[l.key]; e != nil {
+		delete(e.leases, l.id)
+		if e.state == jobLeased && len(e.leases) == 0 && !e.queued {
+			e.state = jobPending
+		}
+	}
+}
+
+// maybeRequeueLocked puts an unfinished entry with no active leases back on
+// the pending queue.
+func (c *Coordinator) maybeRequeueLocked(e *jobEntry) {
+	if e == nil || e.state == jobDone || e.state == jobFailed {
+		return
+	}
+	if len(e.leases) > 0 || e.queued {
+		return
+	}
+	e.state = jobPending
+	c.ctr.requeues++
+	c.enqueueLocked(e)
+}
+
+// sweepLocked expires dead leases and queues straggler re-issues. Called on
+// every API mutation and by the background ticker.
+func (c *Coordinator) sweepLocked() {
+	now := c.now()
+	for _, l := range c.leases {
+		if now.After(l.deadline) {
+			key, id, worker := l.key, l.id, l.worker
+			c.dropLeaseLocked(l)
+			c.ctr.leasesExpired++
+			e := c.jobs[key]
+			c.journalAppend(exp.JournalRecord{
+				T: exp.RecLeaseReturn, Key: key, Label: e.label(), Worker: worker, Lease: id,
+			})
+			c.maybeRequeueLocked(e)
+		}
+	}
+	if after := c.cfg.stragglerAfter(); after > 0 {
+		for _, key := range c.order {
+			e := c.jobs[key]
+			if e.state != jobLeased || e.queued || e.reissued {
+				continue
+			}
+			if len(e.leases) == 0 || len(e.leases) >= c.cfg.maxIssues() {
+				continue
+			}
+			if now.Sub(e.firstLeased) < after {
+				continue
+			}
+			e.reissued = true
+			c.ctr.stragglerReissues++
+			c.enqueueLocked(e)
+		}
+	}
+}
+
+func (c *Coordinator) touchWorkerLocked(name string) *workerState {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerState{}
+		c.workers[name] = w
+	}
+	w.lastSeen = c.now()
+	return w
+}
+
+// Counts is a point-in-time census of the campaign, for the dashboard and
+// for -exit-when-done.
+type Counts struct {
+	Total, Pending, Leased, Done, Failed int
+	ActiveLeases                         int
+	Workers                              int
+}
+
+// Counts returns the current census.
+func (c *Coordinator) Counts() Counts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.countsLocked()
+}
+
+func (c *Coordinator) countsLocked() Counts {
+	n := Counts{Total: len(c.jobs), ActiveLeases: len(c.leases)}
+	for _, e := range c.jobs {
+		switch e.state {
+		case jobPending:
+			n.Pending++
+		case jobLeased:
+			n.Leased++
+		case jobDone:
+			n.Done++
+		case jobFailed:
+			n.Failed++
+		}
+	}
+	cutoff := c.now().Add(-3 * c.cfg.leaseTTL())
+	for _, w := range c.workers {
+		if w.lastSeen.After(cutoff) {
+			n.Workers++
+		}
+	}
+	return n
+}
+
+// Handler returns the coordinator's HTTP handler: the /v1 API plus the
+// merged fleet dashboard (/metrics, /progress).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", post(c.Submit))
+	mux.HandleFunc("/v1/lease", post(c.LeaseJobs))
+	mux.HandleFunc("/v1/heartbeat", post(c.Heartbeat))
+	mux.HandleFunc("/v1/complete", post(c.Complete))
+	mux.HandleFunc("/v1/release", post(func(req ReleaseRequest) struct{} {
+		c.Release(req)
+		return struct{}{}
+	}))
+	mux.HandleFunc("/v1/results", post(c.Results))
+	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/progress", c.serveProgress)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "%s campaign coordinator: /metrics (Prometheus text), /progress (JSON), /v1/* (fabric API)\n", c.cfg.Name)
+	})
+	return mux
+}
+
+// post adapts a typed request/response method to an HTTP JSON endpoint.
+func post[Req, Resp any](fn func(Req) Resp) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fn(req))
+	}
+}
+
+func (c *Coordinator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.mu.Lock()
+	c.sweepLocked()
+	n := c.countsLocked()
+	ctr := c.ctr
+	sums := make(map[string]uint64)
+	for _, ws := range c.workers {
+		obs.MergeCounters(sums, ws.counters)
+	}
+	c.mu.Unlock()
+
+	obs.PromMetric(w, "tls_fleet_jobs_total", "gauge", float64(n.Total))
+	obs.PromMetric(w, "tls_fleet_jobs_pending", "gauge", float64(n.Pending))
+	obs.PromMetric(w, "tls_fleet_jobs_leased", "gauge", float64(n.Leased))
+	obs.PromMetric(w, "tls_fleet_jobs_done", "gauge", float64(n.Done))
+	obs.PromMetric(w, "tls_fleet_jobs_failed", "gauge", float64(n.Failed))
+	obs.PromMetric(w, "tls_fleet_leases_active", "gauge", float64(n.ActiveLeases))
+	obs.PromMetric(w, "tls_fleet_workers", "gauge", float64(n.Workers))
+	obs.PromMetric(w, "tls_fleet_leases_granted", "counter", float64(ctr.leasesGranted))
+	obs.PromMetric(w, "tls_fleet_leases_expired", "counter", float64(ctr.leasesExpired))
+	obs.PromMetric(w, "tls_fleet_leases_returned", "counter", float64(ctr.leasesReturned))
+	obs.PromMetric(w, "tls_fleet_steals", "counter", float64(ctr.steals))
+	obs.PromMetric(w, "tls_fleet_straggler_reissues", "counter", float64(ctr.stragglerReissues))
+	obs.PromMetric(w, "tls_fleet_dedupe_hits", "counter", float64(ctr.dedupeHits))
+	obs.PromMetric(w, "tls_fleet_cache_hits", "counter", float64(ctr.cacheHits))
+	obs.PromMetric(w, "tls_fleet_resume_hits", "counter", float64(ctr.resumeHits))
+	obs.PromMetric(w, "tls_fleet_dup_results", "counter", float64(ctr.dupResults))
+	obs.PromMetric(w, "tls_fleet_crc_rejected", "counter", float64(ctr.crcRejected))
+	obs.PromMetric(w, "tls_fleet_requeues", "counter", float64(ctr.requeues))
+	obs.PromMetric(w, "tls_fleet_journal_errors", "counter", float64(ctr.journalErrors))
+
+	// Fleet-aggregated per-run obs counters, sorted for a stable scrape.
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		obs.PromMetric(w, "tls_run_"+name, "counter", float64(sums[name]))
+	}
+}
+
+// progressWorker is one worker's row in the /progress document.
+type progressWorker struct {
+	Name         string `json:"name"`
+	LastSeenMS   int64  `json:"last_seen_ms"`
+	ActiveLeases int    `json:"active_leases"`
+	Completed    int    `json:"completed"`
+}
+
+// fleetProgress is the /progress JSON document.
+type fleetProgress struct {
+	Campaign          string           `json:"campaign"`
+	Total             int              `json:"total"`
+	Pending           int              `json:"pending"`
+	Leased            int              `json:"leased"`
+	Done              int              `json:"done"`
+	Failed            int              `json:"failed"`
+	ActiveLeases      int              `json:"active_leases"`
+	LeasesGranted     uint64           `json:"leases_granted"`
+	LeasesExpired     uint64           `json:"leases_expired"`
+	Steals            uint64           `json:"steals"`
+	StragglerReissues uint64           `json:"straggler_reissues"`
+	DedupeHits        uint64           `json:"dedupe_hits"`
+	CacheHits         uint64           `json:"cache_hits"`
+	ResumeHits        uint64           `json:"resume_hits"`
+	DupResults        uint64           `json:"dup_results"`
+	Workers           []progressWorker `json:"workers"`
+}
+
+func (c *Coordinator) serveProgress(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	c.sweepLocked()
+	n := c.countsLocked()
+	now := c.now()
+	view := fleetProgress{
+		Campaign: c.cfg.Name,
+		Total:    n.Total, Pending: n.Pending, Leased: n.Leased,
+		Done: n.Done, Failed: n.Failed, ActiveLeases: n.ActiveLeases,
+		LeasesGranted: c.ctr.leasesGranted, LeasesExpired: c.ctr.leasesExpired,
+		Steals: c.ctr.steals, StragglerReissues: c.ctr.stragglerReissues,
+		DedupeHits: c.ctr.dedupeHits, CacheHits: c.ctr.cacheHits,
+		ResumeHits: c.ctr.resumeHits, DupResults: c.ctr.dupResults,
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		active := 0
+		for _, l := range c.leases {
+			if l.worker == name {
+				active++
+			}
+		}
+		view.Workers = append(view.Workers, progressWorker{
+			Name:         name,
+			LastSeenMS:   now.Sub(ws.lastSeen).Milliseconds(),
+			ActiveLeases: active,
+			Completed:    ws.completed,
+		})
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view)
+}
+
+// Start binds addr (":0" picks a free port), serves in the background, and
+// runs the lease sweeper until Stop.
+func (c *Coordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.srv = &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	c.stop = make(chan struct{})
+	srv, stop := c.srv, c.stop
+	c.mu.Unlock()
+	go srv.Serve(ln)
+	go func() {
+		tick := time.NewTicker(c.sweepEvery())
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.mu.Lock()
+				c.sweepLocked()
+				c.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (c *Coordinator) sweepEvery() time.Duration {
+	d := c.cfg.leaseTTL() / 4
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Stop closes the listener and halts the sweeper. Safe without a prior Start.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	srv, stop := c.srv, c.stop
+	c.srv, c.ln, c.stop = nil, nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// WorkerConfig parameterizes a fleet worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator (lease ownership,
+	// journal records, /progress rows). Required.
+	Name string
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Parallel is how many leased jobs execute concurrently (default 1).
+	Parallel int
+	// Poll is the idle wait between empty lease pulls (default 500ms).
+	Poll time.Duration
+	// JobTimeout, Retries, RetryBackoff, CheckpointDir and CheckpointEvery
+	// configure the per-job exp.Runner, preserving the local hardening
+	// (watchdog, panic retry, checkpoint-at-interrupt) on fleet workers.
+	JobTimeout      time.Duration
+	Retries         int
+	RetryBackoff    time.Duration
+	CheckpointDir   string
+	CheckpointEvery int
+	// Observe attaches a fresh obs registry to every executed job and
+	// reports the accumulated counter totals on heartbeats. Observability is
+	// per-worker and never part of a job's identity, so observed and
+	// unobserved workers produce identical results.
+	Observe bool
+	// Metrics, when non-nil, accumulates local run statistics.
+	Metrics *exp.Metrics
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// HTTP overrides the transport (tests); nil uses a client with sane
+	// timeouts.
+	HTTP *http.Client
+}
+
+func (c WorkerConfig) parallel() int {
+	if c.Parallel <= 0 {
+		return 1
+	}
+	return c.Parallel
+}
+
+func (c WorkerConfig) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Poll
+}
+
+// Worker pulls leased jobs from a coordinator, executes them through a
+// hardened exp.Runner, and streams results, releases and heartbeats back.
+type Worker struct {
+	cfg WorkerConfig
+	hc  *http.Client
+
+	mu        sync.Mutex
+	cancels   map[uint64]context.CancelFunc // per-lease job cancellation
+	ttl       time.Duration                 // latest lease TTL seen
+	obsTotals map[string]uint64             // cumulative observed counters
+}
+
+// NewWorker builds a worker for the config.
+func NewWorker(cfg WorkerConfig) *Worker {
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{
+		cfg:     cfg,
+		hc:      hc,
+		cancels: make(map[uint64]context.CancelFunc),
+		ttl:     30 * time.Second,
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run pulls and executes jobs until ctx dies, then drains: in-flight
+// simulations are interrupted (checkpointing at their next commit when
+// checkpointing is on), unfinished leases are returned to the coordinator,
+// and one final heartbeat delivers the closing counter totals.
+func (w *Worker) Run(ctx context.Context) error {
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+
+	slots := make(chan struct{}, w.cfg.parallel())
+	var wg sync.WaitGroup
+pull:
+	for {
+		select {
+		case <-ctx.Done():
+			break pull
+		case slots <- struct{}{}:
+		}
+		// One slot held; ask for as many jobs as there are free slots plus
+		// the one we hold, then start what we got and give back the rest.
+		free := cap(slots) - len(slots) + 1
+		resp, err := w.lease(LeaseRequest{Worker: w.cfg.Name, Max: free})
+		if err != nil || len(resp.Leases) == 0 {
+			<-slots
+			if err != nil {
+				w.logf("worker %s: lease pull: %v", w.cfg.Name, err)
+			}
+			if !sleepCtx(ctx, w.cfg.poll()) {
+				break pull
+			}
+			continue
+		}
+		for i, l := range resp.Leases {
+			if i > 0 {
+				select {
+				case slots <- struct{}{}:
+				case <-ctx.Done():
+					// No slot for an extra lease during shutdown: return it.
+					w.release(l.ID)
+					continue
+				}
+			}
+			w.noteTTL(l)
+			wg.Add(1)
+			go func(l Lease) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				w.runLease(ctx, l)
+			}(l)
+		}
+	}
+	wg.Wait()
+	hbStop()
+	hbWG.Wait()
+	w.heartbeat() // final counter totals, best-effort
+	return ctx.Err()
+}
+
+func (w *Worker) noteTTL(l Lease) {
+	if l.TTLMS <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.ttl = time.Duration(l.TTLMS) * time.Millisecond
+	w.mu.Unlock()
+}
+
+// runLease executes one leased job and reports its outcome. A lease whose
+// job was interrupted (drain or a lost speculative race) is released, not
+// completed: the coordinator re-queues it unless someone else finished it.
+func (w *Worker) runLease(ctx context.Context, l Lease) {
+	job, err := l.Spec.Job()
+	if err != nil {
+		// The spec does not reconstruct here (version skew): report the
+		// permanent failure rather than silently dropping the lease.
+		w.complete(l, Outcome{Key: l.Spec.Key, Err: err.Error(), Worker: w.cfg.Name})
+		return
+	}
+	if w.cfg.Observe {
+		job.Obs = &obs.Config{Registry: obs.NewRegistry()}
+	}
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.mu.Lock()
+	w.cancels[l.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.cancels, l.ID)
+		w.mu.Unlock()
+	}()
+
+	// A fresh single-job Runner per lease keeps the hardened execution path
+	// (panic isolation, watchdog, retry, checkpointing) while giving every
+	// lease its own cancellation scope.
+	r := &exp.Runner{
+		Workers:         1,
+		Retries:         w.cfg.Retries,
+		RetryBackoff:    w.cfg.RetryBackoff,
+		JobTimeout:      w.cfg.JobTimeout,
+		CheckpointDir:   w.cfg.CheckpointDir,
+		CheckpointEvery: w.cfg.CheckpointEvery,
+		Metrics:         w.cfg.Metrics,
+	}
+	results, _ := r.RunBatch(jobCtx, []exp.Job{job})
+	jr := results[0]
+	if jr.Err != nil && (errors.Is(jr.Err, exp.ErrJobInterrupted) || jobCtx.Err() != nil) && !jr.TimedOut {
+		// Drain or cancellation, not the job's fault: give the lease back.
+		w.release(l.ID)
+		return
+	}
+	if w.cfg.Observe && jr.Err == nil && job.Obs != nil {
+		w.foldObs(job.Obs.Registry)
+		// Push the new totals now rather than waiting for the timer, so the
+		// fleet dashboard tracks completed jobs, not heartbeat boundaries.
+		defer w.heartbeat()
+	}
+	o := Outcome{
+		Key: l.Spec.Key, Result: jr.Result, Chaos: jr.Chaos,
+		Attempts: jr.Attempts, WallMS: jr.Wall.Milliseconds(), Worker: w.cfg.Name,
+	}
+	if jr.Err != nil {
+		o.Result, o.Chaos = sim.Result{}, nil
+		o.Err = jr.Err.Error()
+		o.TimedOut = jr.TimedOut
+	}
+	w.complete(l, o)
+}
+
+// foldObs accumulates one finished run's counters into the worker totals.
+// The registry is only read here, after its simulation completed, so the
+// zero-synchronization hot path is preserved.
+func (w *Worker) foldObs(reg *obs.Registry) {
+	snap := reg.CounterSnapshot()
+	if snap == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.obsTotals == nil {
+		w.obsTotals = make(map[string]uint64)
+	}
+	obs.MergeCounters(w.obsTotals, snap)
+	w.mu.Unlock()
+}
+
+// heartbeatLoop extends leases and reports counters until stopped.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		ttl := w.ttl
+		w.mu.Unlock()
+		every := ttl / 3
+		if every < 50*time.Millisecond {
+			every = 50 * time.Millisecond
+		}
+		if every > 5*time.Second {
+			every = 5 * time.Second
+		}
+		if !sleepCtx(ctx, every) {
+			return
+		}
+		w.heartbeat()
+	}
+}
+
+// heartbeat sends one heartbeat and executes any cancellations it returns.
+func (w *Worker) heartbeat() {
+	w.mu.Lock()
+	ids := make([]uint64, 0, len(w.cancels))
+	for id := range w.cancels {
+		ids = append(ids, id)
+	}
+	var counters map[string]uint64
+	if len(w.obsTotals) > 0 {
+		counters = make(map[string]uint64, len(w.obsTotals))
+		for k, v := range w.obsTotals {
+			counters[k] = v
+		}
+	}
+	w.mu.Unlock()
+	var resp HeartbeatResponse
+	err := w.post("/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Leases: ids, Counters: counters}, &resp)
+	if err != nil {
+		return
+	}
+	for _, id := range resp.Cancel {
+		w.mu.Lock()
+		cancel := w.cancels[id]
+		w.mu.Unlock()
+		if cancel != nil {
+			// The job finished elsewhere: stop burning cycles on it. The
+			// executor releases the lease when it unwinds.
+			cancel()
+		}
+	}
+}
+
+func (w *Worker) lease(req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := w.post("/v1/lease", req, &resp)
+	return resp, err
+}
+
+// complete delivers an outcome, retrying through coordinator restarts: the
+// result in hand is the product of real simulation time and is not dropped
+// for a transient connection error.
+func (w *Worker) complete(l Lease, o Outcome) {
+	env, err := Seal(o)
+	if err != nil {
+		w.logf("worker %s: sealing outcome for %.12s: %v", w.cfg.Name, o.Key, err)
+		return
+	}
+	req := CompleteRequest{Worker: w.cfg.Name, Lease: l.ID, Key: o.Key, Env: env}
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		var resp CompleteResponse
+		if err := w.post("/v1/complete", req, &resp); err == nil {
+			return
+		} else if attempt == 7 {
+			w.logf("worker %s: delivering %.12s failed: %v", w.cfg.Name, o.Key, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// release returns one lease without an outcome, best-effort.
+func (w *Worker) release(id uint64) {
+	w.post("/v1/release", ReleaseRequest{Worker: w.cfg.Name, Leases: []uint64{id}}, &struct{}{})
+}
+
+// post is one JSON round trip to the coordinator.
+func (w *Worker) post(path string, req, resp any) error {
+	return postJSON(w.hc, w.cfg.Coordinator+path, req, resp)
+}
+
+// postJSON is the shared HTTP JSON call used by workers and clients.
+func postJSON(hc *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: %s", url, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// sleepCtx sleeps d, returning false if ctx died first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -59,6 +60,15 @@ type Job struct {
 	Sequential bool
 	// Ablation applies protocol ablation knobs (zero = baseline).
 	Ablation Ablation
+	// Faults, when non-nil, arms a deterministic fault-injection plan on
+	// speculative runs. The plan is a pure function of the config, so it IS
+	// part of the job's identity (and hence of Key): a faulted run and a
+	// clean run of the same design point are different experiments.
+	Faults *fault.Config
+	// Invariants arms the runtime invariant checker and the final-memory
+	// oracle on speculative runs; the verdict travels on JobResult.Chaos.
+	// Like Faults it changes what the job reports, so it is part of Key.
+	Invariants bool
 
 	// Obs, when non-nil, installs an observability registry and sampler on
 	// the built simulator. It is deliberately NOT part of Key: observability
@@ -81,7 +91,9 @@ func (j Job) Key() string {
 		Seed       uint64
 		Sequential bool
 		Ablation   Ablation
-	}{j.Machine, j.Scheme, j.Profile, j.Seed, j.Sequential, j.Ablation}
+		Faults     *fault.Config `json:",omitempty"`
+		Invariants bool          `json:",omitempty"`
+	}{j.Machine, j.Scheme, j.Profile, j.Seed, j.Sequential, j.Ablation, j.Faults, j.Invariants}
 	data, err := json.Marshal(canonical)
 	if err != nil {
 		// Only unmarshalable values (NaN floats in a profile) can land
@@ -109,12 +121,21 @@ func (j Job) Label() string {
 // Build constructs (without running) the simulator the job describes, so a
 // caller can checkpoint, interrupt, or restore it before Run.
 func (j Job) Build() *sim.Simulator {
+	s, _ := j.build()
+	return s
+}
+
+// build constructs the simulator and, when the job arms fault injection,
+// returns the live plan so the caller can derive the chaos verdict after the
+// run. Faults and the invariant checker only arm speculative runs: the
+// sequential baseline has no speculative protocol to stress or to check.
+func (j Job) build() (*sim.Simulator, *fault.Plan) {
 	if j.Sequential {
 		s := sim.NewSequential(j.Machine, j.Profile, j.Seed)
 		if j.Obs != nil {
 			s.Observe(*j.Obs)
 		}
-		return s
+		return s, nil
 	}
 	s := sim.New(j.Machine, j.Scheme, workload.NewGenerator(j.Profile, j.Seed))
 	if j.Ablation.LineGranularity {
@@ -126,14 +147,85 @@ func (j Job) Build() *sim.Simulator {
 	if j.Ablation.ORBCommit {
 		s.SetORBCommit(true)
 	}
+	var plan *fault.Plan
+	if j.Faults != nil {
+		plan = fault.NewPlan(*j.Faults)
+		s.InjectFaults(plan)
+	}
+	if j.Invariants {
+		s.EnableInvariantChecks()
+	}
 	if j.Obs != nil {
 		s.Observe(*j.Obs)
 	}
-	return s
+	return s, plan
+}
+
+// chaotic reports whether the job carries chaos instrumentation. Chaotic
+// jobs bypass the persistent result cache: their verdict (invariant report,
+// memory-oracle outcome, injection counts) is not part of sim.Result, so a
+// cache hit could not reconstruct it.
+func (j Job) chaotic() bool {
+	return j.Invariants || j.Faults != nil
+}
+
+// chaosSampleCap bounds the invariant-violation samples a verdict retains.
+const chaosSampleCap = 5
+
+// ChaosVerdict is the chaos-campaign outcome of an executed job: what the
+// invariant checker and the final-memory oracle reported, and what the fault
+// plan actually injected.
+type ChaosVerdict struct {
+	// Violations is the invariant checker's violation count; Samples holds
+	// up to its retained sample messages.
+	Violations int      `json:"violations"`
+	Samples    []string `json:"samples,omitempty"`
+	// Checked and WrongLines are the final-memory oracle's verdict: lines
+	// compared against sequential execution, and mismatches found.
+	Checked    int `json:"checked"`
+	WrongLines int `json:"wrong_lines"`
+	// Faults is how many faults the plan injected; FaultMix is the per-kind
+	// breakdown ("none" for a quiet plan).
+	Faults   int    `json:"faults"`
+	FaultMix string `json:"fault_mix"`
+}
+
+// verdict derives the chaos verdict after s has run (nil for non-chaotic
+// jobs). VerifyFinalMemory is itself deterministic, so the verdict is as
+// replayable as the result.
+func (j Job) verdict(s *sim.Simulator, plan *fault.Plan) *ChaosVerdict {
+	if !j.chaotic() || j.Sequential {
+		return nil
+	}
+	v := &ChaosVerdict{FaultMix: "none"}
+	if plan != nil {
+		v.Faults = plan.Total()
+		v.FaultMix = plan.Summary()
+	}
+	if j.Invariants {
+		v.Violations = s.InvariantViolationCount()
+		for i, viol := range s.InvariantViolations() {
+			if i == chaosSampleCap {
+				break
+			}
+			v.Samples = append(v.Samples, viol.String())
+		}
+		v.Checked, v.WrongLines = s.VerifyFinalMemory()
+	}
+	return v
 }
 
 // Execute runs the simulation the job describes. It is a pure function of
 // the job's fields.
 func (j Job) Execute() sim.Result {
-	return j.Build().Run()
+	res, _ := j.ExecuteWithVerdict()
+	return res
+}
+
+// ExecuteWithVerdict runs the simulation and, for chaotic jobs, derives the
+// chaos verdict from the finished simulator.
+func (j Job) ExecuteWithVerdict() (sim.Result, *ChaosVerdict) {
+	s, plan := j.build()
+	res := s.Run()
+	return res, j.verdict(s, plan)
 }

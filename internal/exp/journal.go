@@ -31,6 +31,13 @@ const (
 	RecJobStart   = "job-start"  // a worker began executing the job
 	RecCheckpoint = "checkpoint" // a checkpoint file for the job is durable
 	RecJobDone    = "job-done"   // the job finished (result cached, or Err)
+
+	// Cluster records, written by the tlsserve coordinator: a lease grants a
+	// job to a named worker; a lease-return voids the grant without an
+	// outcome (worker drain, lease expiry, or a duplicate issue losing the
+	// race). Job completion reuses RecJobDone, carrying the winning worker.
+	RecLease       = "lease"        // job leased to a worker
+	RecLeaseReturn = "lease-return" // lease voided without an outcome
 )
 
 // JournalRecord is one line of the campaign journal.
@@ -51,6 +58,11 @@ type JournalRecord struct {
 	Commits int `json:"commits,omitempty"`
 	// Cached marks a job-done served from the cache without executing.
 	Cached bool `json:"cached,omitempty"`
+	// Worker names the fleet worker holding (RecLease, RecLeaseReturn) or
+	// having produced (RecJobDone) the record, for cluster campaigns.
+	Worker string `json:"worker,omitempty"`
+	// Lease is the coordinator's lease ID (RecLease, RecLeaseReturn).
+	Lease uint64 `json:"lease,omitempty"`
 	// Err records a permanent failure (RecJobDone).
 	Err string `json:"err,omitempty"`
 	// Data carries an optional campaign-specific payload on job-done
@@ -193,6 +205,14 @@ type CampaignState struct {
 	Checkpoints map[string]string
 	// Failed maps job keys to the recorded error of a permanent failure.
 	Failed map[string]string
+	// Leases maps job keys that were leased out (and neither completed nor
+	// returned) to the worker last holding them. A resuming coordinator
+	// re-queues these: the lease died with the previous process.
+	Leases map[string]string
+	// Outcomes maps completed job keys to the Data payload of their job-done
+	// record, for campaigns (tlschaos, cluster chaos jobs) whose outcome is
+	// not reconstructible from the result cache alone.
+	Outcomes map[string]json.RawMessage
 }
 
 // ReplayJournal folds records into the state a resume needs.
@@ -201,6 +221,8 @@ func ReplayJournal(recs []JournalRecord) CampaignState {
 		Done:        make(map[string]bool),
 		Checkpoints: make(map[string]string),
 		Failed:      make(map[string]string),
+		Leases:      make(map[string]string),
+		Outcomes:    make(map[string]json.RawMessage),
 	}
 	for _, rec := range recs {
 		switch rec.T {
@@ -210,6 +232,12 @@ func ReplayJournal(recs []JournalRecord) CampaignState {
 			if rec.Key != "" && rec.Ckpt != "" {
 				st.Checkpoints[rec.Key] = rec.Ckpt
 			}
+		case RecLease:
+			if rec.Key != "" {
+				st.Leases[rec.Key] = rec.Worker
+			}
+		case RecLeaseReturn:
+			delete(st.Leases, rec.Key)
 		case RecJobDone:
 			if rec.Key == "" {
 				break
@@ -217,10 +245,14 @@ func ReplayJournal(recs []JournalRecord) CampaignState {
 			if rec.Err == "" {
 				st.Done[rec.Key] = true
 				delete(st.Failed, rec.Key)
+				if rec.Data != nil {
+					st.Outcomes[rec.Key] = rec.Data
+				}
 			} else {
 				st.Failed[rec.Key] = rec.Err
 			}
 			delete(st.Checkpoints, rec.Key)
+			delete(st.Leases, rec.Key)
 		}
 	}
 	return st

@@ -139,6 +139,97 @@ func TestReplayJournal(t *testing.T) {
 	}
 }
 
+// TestReplayJournalClusterRecords replays a fleet campaign's log: leases
+// interleaved across workers, completions racing speculative re-issues, and
+// lease returns from a drained worker.
+func TestReplayJournalClusterRecords(t *testing.T) {
+	st := ReplayJournal([]JournalRecord{
+		{T: RecCampaign, Name: "fleet"},
+		{T: RecLease, Key: "a", Worker: "w1", Lease: 1},
+		{T: RecLease, Key: "b", Worker: "w2", Lease: 2},
+		{T: RecLease, Key: "c", Worker: "w1", Lease: 3},
+		// a completes on w1; b is re-leased speculatively to w1 (straggler)
+		// and the duplicate wins there.
+		{T: RecJobDone, Key: "a", Worker: "w1"},
+		{T: RecLease, Key: "b", Worker: "w1", Lease: 4},
+		{T: RecJobDone, Key: "b", Worker: "w1"},
+		// w2 drains and returns nothing further; c's lease is returned
+		// (expiry) and re-granted to w2, which completes it with a payload.
+		{T: RecLeaseReturn, Key: "c", Worker: "w1", Lease: 3},
+		{T: RecLease, Key: "c", Worker: "w2", Lease: 5},
+		{T: RecJobDone, Key: "c", Worker: "w2", Data: []byte(`{"n":1}`)},
+		// d was leased and never heard from again: the resume must requeue it.
+		{T: RecLease, Key: "d", Worker: "w2", Lease: 6},
+	})
+	if !st.Done["a"] || !st.Done["b"] || !st.Done["c"] {
+		t.Fatalf("done set: %+v", st.Done)
+	}
+	if len(st.Leases) != 1 || st.Leases["d"] != "w2" {
+		t.Fatalf("leases: %+v, want only d held by w2", st.Leases)
+	}
+	if string(st.Outcomes["c"]) != `{"n":1}` {
+		t.Fatalf("outcome payload for c: %q", st.Outcomes["c"])
+	}
+	if len(st.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v, want only c", st.Outcomes)
+	}
+}
+
+// TestJournalTornTailMidLease crashes a coordinator mid-append of a lease
+// record: readers forgive the torn tail, the replayed state does not contain
+// the half-written lease, and reopening truncates it away.
+func TestJournalTornTailMidLease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(JournalRecord{T: RecCampaign, Name: "fleet"})
+	j.Append(JournalRecord{T: RecLease, Key: "a", Worker: "w1", Lease: 1})
+	j.Append(JournalRecord{T: RecJobDone, Key: "a", Worker: "w1"})
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"lease","key":"b","worker":"w2torn","leas`)
+	f.Close()
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn mid-lease tail not forgiven: %v", err)
+	}
+	st := ReplayJournal(recs)
+	if !st.Done["a"] {
+		t.Fatalf("done set: %+v", st.Done)
+	}
+	if len(st.Leases) != 0 {
+		t.Fatalf("torn lease leaked into state: %+v", st.Leases)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(JournalRecord{T: RecLease, Key: "b", Worker: "w2", Lease: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, err = ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = ReplayJournal(recs)
+	if st.Leases["b"] != "w2" {
+		t.Fatalf("re-appended lease lost: %+v", st.Leases)
+	}
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "w2torn") {
+		t.Fatal("torn lease tail survived OpenJournal")
+	}
+}
+
 func TestLoadCampaignMissingFile(t *testing.T) {
 	if _, err := LoadCampaign(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
 		t.Fatal("missing journal loaded without error")

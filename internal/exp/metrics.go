@@ -18,6 +18,7 @@ type Metrics struct {
 	total       int
 	done        int
 	hits        int
+	deduped     int
 	executed    int
 	errors      int
 	retries     int
@@ -54,6 +55,8 @@ func (m *Metrics) observe(jr JobResult) {
 		}
 	case jr.Cached:
 		m.hits++
+	case jr.Deduped:
+		m.deduped++
 	default:
 		m.executed++
 		m.wall.Observe(jr.Wall.Seconds())
@@ -74,8 +77,11 @@ func (m *Metrics) cachePutFailed() {
 
 // Snapshot is a point-in-time view of a Metrics.
 type Snapshot struct {
-	// Job counts: Done = CacheHits + Executed + Errors.
+	// Job counts: Done = CacheHits + Deduped + Executed + Errors.
 	Total, Done, CacheHits, Executed, Errors, Retries int
+	// Deduped counts successful jobs that shared a concurrent identical
+	// job's execution (singleflight) instead of running themselves.
+	Deduped int
 	// Timeouts and Quarantined break the errors down: watchdog-cancelled
 	// jobs and jobs skipped because an identical one failed permanently.
 	Timeouts, Quarantined int
@@ -95,7 +101,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Total: m.total, Done: m.done, CacheHits: m.hits,
+		Total: m.total, Done: m.done, CacheHits: m.hits, Deduped: m.deduped,
 		Executed: m.executed, Errors: m.errors, Retries: m.retries,
 		Timeouts: m.timeouts, Quarantined: m.quarantined,
 		CachePutErrors: m.putErrors,
@@ -135,6 +141,9 @@ func (s Snapshot) CyclesPerSecond() float64 {
 func (s Snapshot) String() string {
 	line := fmt.Sprintf("metrics: %d/%d jobs (%d cached, %d simulated, %d errors",
 		s.Done, s.Total, s.CacheHits, s.Executed, s.Errors)
+	if s.Deduped > 0 {
+		line += fmt.Sprintf(", %d deduped", s.Deduped)
+	}
 	if s.Retries > 0 {
 		line += fmt.Sprintf(", %d retries", s.Retries)
 	}

@@ -38,9 +38,15 @@ type JobResult struct {
 	// Err reports a job that failed every attempt (a crashed or hung
 	// simulation), was quarantined, or was cancelled before it started.
 	Err error
+	// Chaos is the chaos verdict of an executed chaotic job (Invariants or
+	// Faults set); nil otherwise.
+	Chaos *ChaosVerdict
 	// Cached reports that Result came from the persistent cache and no
 	// simulation executed.
 	Cached bool
+	// Deduped reports that Result was shared from a concurrent identical
+	// job's execution (the singleflight guard): this call executed nothing.
+	Deduped bool
 	// TimedOut reports that the watchdog cancelled the job's last attempt.
 	TimedOut bool
 	// Quarantined reports that the job was skipped without executing because
@@ -118,6 +124,21 @@ type Runner struct {
 	inflight    map[int]*sim.Simulator
 	inflightSeq int
 	draining    bool
+
+	// Singleflight: concurrent jobs with the same content hash execute once;
+	// the waiters share the leader's outcome. This is also the coordinator's
+	// local dedupe primitive.
+	fmu     sync.Mutex
+	flights map[string]*flight
+	// flightWaits counts calls that joined an existing flight (test hook).
+	flightWaits atomic.Int64
+}
+
+// flight is one in-progress execution of a job key: the leader closes done
+// after publishing its outcome in res.
+type flight struct {
+	done chan struct{}
+	res  JobResult
 }
 
 func (r *Runner) workers(jobs int) int {
@@ -228,21 +249,48 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 		jr.Err = fmt.Errorf("job %s: %w: %w", j.Label(), ErrJobQuarantined, cause)
 		return jr
 	}
-	if r.Cache != nil {
+	// Chaotic jobs bypass the cache: their verdict is not part of sim.Result,
+	// so a hit could not reconstruct it.
+	useCache := r.Cache != nil && !j.chaotic()
+	if useCache {
 		if res, ok := r.Cache.Get(j); ok {
 			jr.Result, jr.Cached = res, true
 			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Cached: true})
 			return jr
 		}
 	}
+	// Singleflight: if an identical job is already executing, wait for its
+	// outcome instead of computing it twice. The leader's Result is shared
+	// (read-only downstream); per-call fields are not.
+	key := j.Key()
+	f, leader := r.joinFlight(key)
+	if !leader {
+		select {
+		case <-f.done:
+			jr = f.res
+			jr.Job = j
+			jr.Deduped = true
+			jr.Attempts, jr.Wall = 0, 0
+		case <-ctx.Done():
+			jr.Err = fmt.Errorf("job %s: %w", j.Label(), ctx.Err())
+		}
+		return jr
+	}
+	defer func() {
+		f.res = jr
+		r.fmu.Lock()
+		delete(r.flights, key)
+		r.fmu.Unlock()
+		close(f.done)
+	}()
 	r.journalAppend(JournalRecord{T: RecJobStart, Key: j.Key(), Label: j.Label()})
 	start := time.Now()
 	maxAttempts := 1 + r.retries()
 	for jr.Attempts = 1; ; jr.Attempts++ {
-		res, err := r.attempt(ctx, j)
+		res, verdict, err := r.attempt(ctx, j)
 		if err == nil {
-			jr.Result, jr.Err, jr.TimedOut = res, nil, false
-			if r.Cache != nil {
+			jr.Result, jr.Chaos, jr.Err, jr.TimedOut = res, verdict, nil, false
+			if useCache {
 				if perr := r.Cache.Put(j, res); perr != nil && r.Metrics != nil {
 					// The sweep survives a failed write (the result is
 					// still in hand), but a full disk must be visible.
@@ -285,6 +333,24 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	return jr
 }
 
+// joinFlight registers interest in key's execution: the first caller becomes
+// the leader (and must settle the flight when done); later callers get the
+// existing flight to wait on.
+func (r *Runner) joinFlight(key string) (*flight, bool) {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if f, ok := r.flights[key]; ok {
+		r.flightWaits.Add(1)
+		return f, false
+	}
+	if r.flights == nil {
+		r.flights = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	return f, true
+}
+
 // journalAppend writes a WAL record, surfacing write failures as metrics
 // (the campaign itself must survive a full disk).
 func (r *Runner) journalAppend(rec JournalRecord) {
@@ -304,7 +370,7 @@ func (r *Runner) journalAppend(rec JournalRecord) {
 type jobRun struct {
 	sim      *sim.Simulator
 	escalate atomic.Bool
-	run      func() (sim.Result, error)
+	run      func() (sim.Result, *ChaosVerdict, error)
 }
 
 // prepare builds one attempt. With no checkpointing, resume map, or journal
@@ -312,13 +378,13 @@ type jobRun struct {
 // to a runner without any of this machinery.
 func (r *Runner) prepare(j Job) *jobRun {
 	if r.execOverride != nil || (r.CheckpointDir == "" && len(r.Resume) == 0) {
-		return &jobRun{run: func() (sim.Result, error) { return runIsolated(j, r.execOverride) }}
+		return &jobRun{run: func() (sim.Result, *ChaosVerdict, error) { return runIsolated(j, r.execOverride) }}
 	}
-	s := j.Build()
+	s, plan := j.build()
 	if path, ok := r.Resume[j.Key()]; ok {
 		if ck, err := sim.ReadCheckpointFile(path); err == nil {
 			if rerr := s.Restore(ck); rerr != nil {
-				s = j.Build() // mismatched checkpoint: start over
+				s, plan = j.build() // mismatched checkpoint: start over
 			}
 		}
 	}
@@ -346,7 +412,7 @@ func (r *Runner) prepare(j Job) *jobRun {
 			}
 		})
 	}
-	jr.run = func() (res sim.Result, err error) {
+	jr.run = func() (res sim.Result, v *ChaosVerdict, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
@@ -354,39 +420,44 @@ func (r *Runner) prepare(j Job) *jobRun {
 		}()
 		res = s.Run()
 		if s.Halted() {
-			return sim.Result{}, fmt.Errorf("job %s: %w", j.Label(), ErrJobInterrupted)
+			return sim.Result{}, nil, fmt.Errorf("job %s: %w", j.Label(), ErrJobInterrupted)
 		}
-		return res, nil
+		return res, j.verdict(s, plan), nil
 	}
 	return jr
 }
 
 // attempt executes one try of the job, under the watchdog when a deadline
 // is configured.
-func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
+func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, *ChaosVerdict, error) {
 	jr := r.prepare(j)
 	if jr.sim != nil {
 		id := r.track(jr.sim)
 		defer r.untrack(id)
 	}
-	if r.JobTimeout <= 0 {
-		return jr.run()
-	}
 	type outcome struct {
 		res sim.Result
+		v   *ChaosVerdict
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := jr.run()
-		ch <- outcome{res, err}
+		res, v, err := jr.run()
+		ch <- outcome{res, v, err}
 	}()
-	timer := time.NewTimer(r.JobTimeout)
-	defer timer.Stop()
+	// The run always executes on its own goroutine so that cancellation is
+	// responsive mid-simulation (drain, Ctrl-C) even without a watchdog
+	// deadline; the timer only arms when a deadline is configured.
+	var deadline <-chan time.Time
+	if r.JobTimeout > 0 {
+		timer := time.NewTimer(r.JobTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	select {
 	case o := <-ch:
-		return o.res, o.err
-	case <-timer.C:
+		return o.res, o.v, o.err
+	case <-deadline:
 		// The attempt goroutine is abandoned: a stuck simulation cannot be
 		// preempted, only disowned. The buffered channel lets it exit
 		// quietly if it ever finishes. On the checkpointing path we can do
@@ -397,12 +468,12 @@ func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, error) {
 			jr.escalate.Store(true)
 			jr.sim.Interrupt()
 		}
-		return sim.Result{}, fmt.Errorf("job %s: %w (deadline %s)", j.Label(), ErrJobTimeout, r.JobTimeout)
+		return sim.Result{}, nil, fmt.Errorf("job %s: %w (deadline %s)", j.Label(), ErrJobTimeout, r.JobTimeout)
 	case <-ctx.Done():
 		if jr.sim != nil {
 			jr.sim.Interrupt()
 		}
-		return sim.Result{}, fmt.Errorf("job %s: %w", j.Label(), ctx.Err())
+		return sim.Result{}, nil, fmt.Errorf("job %s: %w", j.Label(), ctx.Err())
 	}
 }
 
@@ -502,16 +573,17 @@ func (r *Runner) QuarantineSize() int {
 
 // runIsolated executes one simulation, converting a panic into an error so
 // a crashed run cannot take down the whole regeneration.
-func runIsolated(j Job, exec func(Job) sim.Result) (res sim.Result, err error) {
+func runIsolated(j Job, exec func(Job) sim.Result) (res sim.Result, v *ChaosVerdict, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
 		}
 	}()
 	if exec != nil {
-		return exec(j), nil
+		return exec(j), nil, nil
 	}
-	return j.Execute(), nil
+	res, v = j.ExecuteWithVerdict()
+	return res, v, nil
 }
 
 // finish serializes the per-job callbacks.

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestSingleflightSharesOneExecution submits four identical jobs to a
+// four-worker pool with an execution that blocks until every duplicate has
+// joined the flight: exactly one execution must happen, and the other three
+// results must be marked Deduped while sharing the leader's outcome.
+func TestSingleflightSharesOneExecution(t *testing.T) {
+	job := Job{Machine: machine.CMP8(), Scheme: core.MultiTMVLazy, Profile: tinyProfile(), Seed: 7}
+	jobs := []Job{job, job, job, job}
+
+	var execs atomic.Int64
+	release := make(chan struct{})
+	m := &Metrics{}
+	r := &Runner{
+		Workers: len(jobs),
+		Metrics: m,
+		execOverride: func(j Job) sim.Result {
+			execs.Add(1)
+			<-release
+			return sim.Result{ExecCycles: 42}
+		},
+	}
+	go func() {
+		// Release the leader only once the three duplicates are waiting, so
+		// the test cannot pass by accident of scheduling.
+		deadline := time.Now().Add(10 * time.Second)
+		for r.flightWaits.Load() < 3 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+	results, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("identical jobs executed %d times, want 1", got)
+	}
+	deduped := 0
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.Result.ExecCycles != 42 {
+			t.Fatalf("job %d: cycles %d, want the shared 42", i, jr.Result.ExecCycles)
+		}
+		if jr.Deduped {
+			deduped++
+		}
+	}
+	if deduped != 3 {
+		t.Fatalf("%d results marked Deduped, want 3", deduped)
+	}
+	s := m.Snapshot()
+	if s.Executed != 1 || s.Deduped != 3 {
+		t.Fatalf("metrics: executed %d deduped %d, want 1 and 3", s.Executed, s.Deduped)
+	}
+}
+
+// TestSingleflightDistinctJobsUnaffected makes sure distinct keys never wait
+// on each other.
+func TestSingleflightDistinctJobsUnaffected(t *testing.T) {
+	jobs := testBatch()
+	results, err := (&Runner{Workers: 4}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range results {
+		if jr.Err != nil || jr.Deduped {
+			t.Fatalf("job %d: err=%v deduped=%v", i, jr.Err, jr.Deduped)
+		}
+	}
+}

@@ -142,6 +142,7 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.PromMetric(w, "tls_jobs_done", "gauge", float64(s.Done))
 	obs.PromMetric(w, "tls_jobs_remaining", "gauge", float64(s.Remaining()))
 	obs.PromMetric(w, "tls_cache_hits", "counter", float64(s.CacheHits))
+	obs.PromMetric(w, "tls_jobs_deduped", "counter", float64(s.Deduped))
 	obs.PromMetric(w, "tls_jobs_executed", "counter", float64(s.Executed))
 	obs.PromMetric(w, "tls_job_errors", "counter", float64(s.Errors))
 	obs.PromMetric(w, "tls_job_retries", "counter", float64(s.Retries))
@@ -182,6 +183,7 @@ type progressView struct {
 	Done            int         `json:"done"`
 	Remaining       int         `json:"remaining"`
 	CacheHits       int         `json:"cache_hits"`
+	Deduped         int         `json:"deduped"`
 	Executed        int         `json:"executed"`
 	Errors          int         `json:"errors"`
 	Retries         int         `json:"retries"`
@@ -209,7 +211,7 @@ func (t *Telemetry) serveProgress(w http.ResponseWriter, _ *http.Request) {
 
 	view := progressView{
 		Campaign: t.Name, Total: s.Total, Done: s.Done, Remaining: s.Remaining(),
-		CacheHits: s.CacheHits, Executed: s.Executed, Errors: s.Errors,
+		CacheHits: s.CacheHits, Deduped: s.Deduped, Executed: s.Executed, Errors: s.Errors,
 		Retries: s.Retries, Timeouts: s.Timeouts, Quarantined: s.Quarantined,
 		ElapsedSeconds:  s.Elapsed.Seconds(),
 		ETASeconds:      s.ETA().Seconds(),

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// countingBatcher delegates to a local runner while recording the calls —
+// the report-layer view of a remote executor.
+type countingBatcher struct {
+	batches int
+	jobs    int
+}
+
+func (b *countingBatcher) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult, error) {
+	b.batches++
+	b.jobs += len(jobs)
+	return (&exp.Runner{Workers: 2}).RunBatch(ctx, jobs)
+}
+
+// TestBatcherGridAgreesWithLocal routes a grid sweep through Options.Batcher
+// and requires the assembled grid — cells, baselines, failure manifest — to
+// be identical to the default local run, with the Progress hook firing the
+// same number of times.
+func TestBatcherGridAgreesWithLocal(t *testing.T) {
+	apps := fastApps()
+	local := RunGrid(machine.CMP8(), Figure9Schemes(), Options{Apps: apps, Seed: 5})
+
+	b := &countingBatcher{}
+	progress := 0
+	remote := RunGrid(machine.CMP8(), Figure9Schemes(), Options{
+		Apps: apps, Seed: 5, Batcher: b,
+		Progress: func(m, a string, s core.Scheme, _ sim.Result) { progress++ },
+	})
+	if want := len(apps) * len(Figure9Schemes()); progress != want {
+		t.Fatalf("progress fired %d times, want %d", progress, want)
+	}
+	if b.batches != 1 {
+		t.Fatalf("batcher called %d times, want 1", b.batches)
+	}
+	if want := len(apps) * (len(Figure9Schemes()) + 1); b.jobs != want {
+		t.Fatalf("batcher saw %d jobs, want %d", b.jobs, want)
+	}
+	if !reflect.DeepEqual(local.Cells, remote.Cells) {
+		t.Fatal("batcher grid differs from local grid")
+	}
+	if !reflect.DeepEqual(local.Apps, remote.Apps) || local.Machine != remote.Machine {
+		t.Fatal("grid metadata differs")
+	}
+}
+
+// TestGridJobsMatchesRunGrid pins the GridJobs ordering contract that
+// AssembleGrid (and coordinator-side campaign preloading) depend on:
+// baselines first, then apps x schemes.
+func TestGridJobsMatchesRunGrid(t *testing.T) {
+	opt := Options{Apps: fastApps(), Seed: 5}
+	jobs := GridJobs(machine.CMP8(), Figure9Schemes(), opt)
+	n := len(opt.Apps)
+	if len(jobs) != n*(len(Figure9Schemes())+1) {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for i, j := range jobs[:n] {
+		if !j.Sequential || j.Profile.Name != opt.Apps[i].Name {
+			t.Fatalf("job %d is not the %s baseline: %s", i, opt.Apps[i].Name, j.Label())
+		}
+	}
+	for i, j := range jobs[n:] {
+		if j.Sequential {
+			t.Fatalf("speculative slot %d is sequential", i)
+		}
+		if want := opt.Apps[i/len(Figure9Schemes())].Name; j.Profile.Name != want {
+			t.Fatalf("job %d profile %s, want %s", n+i, j.Profile.Name, want)
+		}
+	}
+}

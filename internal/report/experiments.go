@@ -73,6 +73,20 @@ type Options struct {
 	// Resume maps job keys to checkpoint files recovered from a previous
 	// campaign's journal (exp.CampaignState.Checkpoints).
 	Resume map[string]string
+	// Batcher, when non-nil, executes job batches instead of a locally
+	// built exp.Runner — the hook `-coordinator URL` uses to run a sweep on
+	// a distributed fleet. Execution options (cache, journal, checkpoints,
+	// timeout, worker count) are then the executor's business and ignored
+	// here; Progress and JobObserver still fire for every result.
+	Batcher Batcher
+}
+
+// Batcher executes a batch of jobs and returns their results in submission
+// order. The local exp.Runner and the cluster client both satisfy it, so a
+// sweep renders the same artifacts whether its simulations ran in-process
+// or on a fleet.
+type Batcher interface {
+	RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult, error)
 }
 
 // ctx returns the sweep-bounding context.
@@ -114,6 +128,28 @@ func (o *Options) runner() *exp.Runner {
 		}
 	}
 	return r
+}
+
+// runBatch executes jobs through the configured Batcher, or a locally built
+// runner when none is set. Every sweep call site funnels through here, so
+// redirecting Options.Batcher redirects the whole report layer.
+func (o *Options) runBatch(jobs []exp.Job) []exp.JobResult {
+	if o.Batcher == nil {
+		results, _ := o.runner().RunBatch(o.ctx(), jobs)
+		return results
+	}
+	results, _ := o.Batcher.RunBatch(o.ctx(), jobs)
+	// The local runner invokes these hooks as jobs finish; a remote batch
+	// arrives all at once, so fire them here (same order, same filtering).
+	for _, jr := range results {
+		if o.JobObserver != nil {
+			o.JobObserver(jr)
+		}
+		if o.Progress != nil && jr.Err == nil && !jr.Job.Sequential && jr.Job.Machine != nil {
+			o.Progress(jr.Job.Machine.Name, jr.Job.Profile.Name, jr.Job.Scheme, jr.Result)
+		}
+	}
+	return results
 }
 
 func (o *Options) apps() []workload.Profile {
@@ -174,22 +210,14 @@ func (g *Grid) Cell(app string, scheme core.Scheme) Cell {
 	return g.Cells[app][scheme.String()]
 }
 
-// RunGrid sweeps apps × schemes on the machine, measuring one sequential
-// baseline per application. The whole sweep is submitted as one job batch
-// to the exp orchestrator; because each simulation is an isolated
-// deterministic function of its inputs, the assembled grid is identical to
-// a serial sweep regardless of worker count or cache state.
-func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
+// GridJobs builds the deterministic job list behind a grid sweep: one
+// sequential baseline per application, followed by apps × schemes. A
+// coordinator preloading a fleet campaign (tlsserve -grid) constructs
+// exactly the jobs a later RunGrid with the same arguments will ask for.
+func GridJobs(cfg *machine.Config, schemes []core.Scheme, opt Options) []exp.Job {
 	apps := opt.apps()
-	g := &Grid{
-		Machine: cfg.Name,
-		Schemes: schemes,
-		Cells:   make(map[string]map[string]Cell),
-	}
 	jobs := make([]exp.Job, 0, len(apps)*(len(schemes)+1))
 	for _, prof := range apps {
-		g.Apps = append(g.Apps, prof.Name)
-		g.Cells[prof.Name] = make(map[string]Cell, len(schemes))
 		jobs = append(jobs, exp.Job{Machine: cfg, Profile: prof, Seed: opt.seed(), Sequential: true})
 	}
 	for _, prof := range apps {
@@ -197,7 +225,22 @@ func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 			jobs = append(jobs, exp.Job{Machine: cfg, Scheme: sch, Profile: prof, Seed: opt.seed()})
 		}
 	}
-	results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
+	return jobs
+}
+
+// AssembleGrid folds batch results, ordered as GridJobs produced them, into
+// a rendered-ready Grid.
+func AssembleGrid(cfg *machine.Config, schemes []core.Scheme, opt Options, results []exp.JobResult) *Grid {
+	apps := opt.apps()
+	g := &Grid{
+		Machine: cfg.Name,
+		Schemes: schemes,
+		Cells:   make(map[string]map[string]Cell),
+	}
+	for _, prof := range apps {
+		g.Apps = append(g.Apps, prof.Name)
+		g.Cells[prof.Name] = make(map[string]Cell, len(schemes))
+	}
 	g.Failures = exp.CollectFailures(results)
 
 	// The first len(apps) results are the sequential baselines.
@@ -218,6 +261,16 @@ func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
 			Cell{Result: jr.Result, Seq: seqs[jr.Job.Profile.Name]}
 	}
 	return g
+}
+
+// RunGrid sweeps apps × schemes on the machine, measuring one sequential
+// baseline per application. The whole sweep is submitted as one job batch
+// to the configured executor; because each simulation is an isolated
+// deterministic function of its inputs, the assembled grid is identical to
+// a serial sweep regardless of worker count, cache state, or whether the
+// simulations ran locally or on a fleet.
+func RunGrid(cfg *machine.Config, schemes []core.Scheme, opt Options) *Grid {
+	return AssembleGrid(cfg, schemes, opt, opt.runBatch(GridJobs(cfg, schemes, opt)))
 }
 
 // Figure9Schemes are the six bars per application of Figures 9 and 11:
@@ -259,7 +312,7 @@ func Figure10(opt Options) (*Grid, Cell) {
 			{Machine: machine.NUMA16(), Profile: prof, Seed: opt.seed(), Sequential: true},
 			{Machine: machine.NUMA16BigL2(), Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()},
 		}
-		results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
+		results := opt.runBatch(jobs)
 		if results[0].Err != nil || results[1].Err != nil {
 			g.Failures = append(g.Failures, exp.CollectFailures(results)...)
 			for _, jr := range results {
@@ -307,7 +360,7 @@ func Characterize(opt Options) []AppCharacterization {
 			exp.Job{Machine: cmp8, Scheme: core.MultiTMVEager, Profile: prof, Seed: opt.seed()},
 			exp.Job{Machine: numa16, Scheme: core.MultiTMVLazy, Profile: prof, Seed: opt.seed()})
 	}
-	results, _ := opt.runner().RunBatch(opt.ctx(), jobs)
+	results := opt.runBatch(jobs)
 
 	out := make([]AppCharacterization, len(apps))
 	for i, prof := range apps {
