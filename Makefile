@@ -4,7 +4,7 @@ GO ?= go
 # gate against a different one (make bench BENCH=BENCH_4.json).
 BENCH ?= BENCH_3.json
 
-.PHONY: build test fmt vet race chaos cluster verify report bench bench-baseline trace
+.PHONY: build test fmt vet race chaos cluster cluster-chaos verify report bench bench-baseline trace
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ chaos:
 # byte-identical to a serial tlsreport run.
 cluster:
 	GO="$(GO)" sh ./scripts/cluster_drill.sh
+
+# cluster-chaos is the hostile-network drill: every fabric link injects
+# seeded faults (drops, delays, duplicates, reordering, truncation,
+# corruption, partition windows), one worker is fully byzantine and must be
+# circuit-broken, one healthy worker dies to SIGKILL — and the fleet report
+# must still be byte-identical to a serial run.
+cluster-chaos:
+	GO="$(GO)" sh ./scripts/cluster_chaos_drill.sh
 
 # verify is the CI gate: formatting, vet, build, full tests, race tests.
 verify: fmt vet build test race

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/chaosnet"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -159,6 +161,10 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 		coordF   = flag.String("coordinator", "", "run the campaign on a distributed fleet via this tlsserve URL (journal/checkpoint flags then apply coordinator/worker-side)")
+		rpcT     = flag.Duration("rpc-timeout", 30*time.Second, "total per-RPC deadline against the coordinator")
+		dialT    = flag.Duration("dial-timeout", 5*time.Second, "connection-attempt deadline against the coordinator")
+		chaosNet = flag.String("chaos-net", "", "inject seeded network chaos on the fleet client transport (hostile, campaign, byzantine), composing wire faults with the protocol faults under test")
+		chaosSd  = flag.Uint64("chaos-seed", 1, "seed for the -chaos-net fault plan")
 	)
 	flag.Parse()
 
@@ -278,8 +284,22 @@ func main() {
 
 	var outcomes []outcome
 	if *coordF != "" {
-		outcomes = runFleet(sd.Context(), cases, cfg, selection, flips, *coordF)
+		hc := cluster.HTTPClient(*dialT, *rpcT)
+		if *chaosNet != "" {
+			ccfg, err := chaosnet.Profile(*chaosNet, *chaosSd)
+			if err != nil {
+				fatalf("-chaos-net: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "tlschaos: chaos-net armed on the client transport: %s\n", ccfg)
+			hc = chaosnet.Client(hc, chaosnet.New(ccfg), "tlschaos", func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
+			})
+		}
+		outcomes = runFleet(sd.Context(), cases, cfg, selection, flips, *coordF, hc)
 	} else {
+		if *chaosNet != "" {
+			fmt.Fprintln(os.Stderr, "tlschaos: -chaos-net only applies with -coordinator, ignoring")
+		}
 		outcomes = runAll(sd.Context(), cmp, cases, cfg, selection, flips, *timeout, *jobs)
 	}
 
@@ -585,12 +605,12 @@ func outcomeFrom(c chaosCase, jr exp.JobResult, interrupted bool) outcome {
 // sealed outcomes in its journal instead, so fleet campaigns are exactly as
 // crash-resumable as local journaled ones.
 func runFleet(ctx context.Context, cases []chaosCase, cfg *machine.Config,
-	selection map[fault.Kind]bool, flips bool, url string) []outcome {
+	selection map[fault.Kind]bool, flips bool, url string, hc *http.Client) []outcome {
 	jobs := make([]exp.Job, len(cases))
 	for i, c := range cases {
 		jobs[i] = caseJob(c, cfg, selection)
 	}
-	client := &cluster.Client{URL: url,
+	client := &cluster.Client{URL: url, Name: cluster.ClientName("tlschaos"), HTTP: hc,
 		Progress: func(jr exp.JobResult) {
 			chaosDone.Add(1)
 		},

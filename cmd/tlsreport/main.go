@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/cluster"
@@ -53,6 +54,8 @@ func main() {
 		ckptN   = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listen  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 		coord   = flag.String("coordinator", "", "run all simulations on a distributed fleet via this tlsserve URL (execution flags then apply coordinator/worker-side)")
+		rpcT    = flag.Duration("rpc-timeout", 30*time.Second, "total per-RPC deadline against the coordinator")
+		dialT   = flag.Duration("dial-timeout", 5*time.Second, "connection-attempt deadline against the coordinator")
 	)
 	flag.Parse()
 
@@ -75,9 +78,11 @@ func main() {
 		// artifacts are identical to a local run because each simulation is
 		// a pure function of the job's content. Caching, journaling and
 		// checkpointing then happen coordinator- and worker-side.
-		opt.Batcher = &cluster.Client{URL: *coord, Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tlsreport: "+format+"\n", args...)
-		}}
+		opt.Batcher = &cluster.Client{URL: *coord, Name: cluster.ClientName("tlsreport"),
+			RPCTimeout: *rpcT, DialTimeout: *dialT,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tlsreport: "+format+"\n", args...)
+			}}
 		if *cache != "" || *journal != "" || *resume != "" {
 			fmt.Fprintln(os.Stderr, "tlsreport: -coordinator set; -cache/-journal/-resume apply to tlsserve, ignoring locally")
 			*cache, *journal, *resume = "", "", ""

@@ -21,12 +21,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/cluster/chaosnet"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/report"
@@ -49,6 +51,14 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed for -grid")
 		exitDone  = flag.Bool("exit-when-done", false, "exit 0 once every submitted job has a final outcome")
 		name      = flag.String("name", "tlsserve", "campaign name (journal header, dashboard)")
+
+		maxPending  = flag.Int("max-pending", 0, "bound the pending queue; excess submissions are shed with 429 + Retry-After (0 = unbounded)")
+		submitRate  = flag.Float64("submit-rate", 0, "per-client submit admission: job tokens per second (0 = unlimited)")
+		submitBurst = flag.Int("submit-burst", 0, "per-client submit burst size (default 400)")
+		quarantine  = flag.Duration("quarantine-for", 30*time.Second, "circuit-breaker base quarantine for flapping/byzantine workers")
+
+		chaosNet  = flag.String("chaos-net", "", "inject seeded accept-side network chaos: hostile, campaign, or byzantine")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the -chaos-net fault plan")
 	)
 	flag.Parse()
 
@@ -65,6 +75,10 @@ func main() {
 		StragglerAfter: durOff(*straggler),
 		StealAfter:     durOff(*stealW),
 		MaxIssues:      *maxIssues,
+		MaxPending:     *maxPending,
+		SubmitRate:     *submitRate,
+		SubmitBurst:    *submitBurst,
+		QuarantineFor:  *quarantine,
 	}
 	if *cacheDir != "" {
 		cache, err := exp.NewCache(*cacheDir)
@@ -92,14 +106,29 @@ func main() {
 	}
 
 	co := cluster.NewCoordinator(cfg)
-	addr, err := co.Start(*listen)
+	ln, err := net.Listen("tcp", *listen)
 	die("listen", err)
+	addr := ln.Addr().String()
+	if *chaosNet != "" {
+		ccfg, err := chaosnet.Profile(*chaosNet, *chaosSeed)
+		die("chaos-net", err)
+		fmt.Fprintf(os.Stderr, "tlsserve: chaos-net armed: %s\n", ccfg)
+		ln = &chaosnet.Listener{
+			Listener: ln,
+			Plan:     chaosnet.New(ccfg),
+			Self:     "coordinator",
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tlsserve: "+format+"\n", args...)
+			},
+		}
+	}
+	co.Serve(ln)
 	fmt.Printf("tlsserve: listening on http://%s\n", addr)
 
 	if *gridF != "" {
 		specs, err := gridSpecs(*gridF, *schemesF, *appsF, *seed)
 		die("grid", err)
-		resp := co.Submit(cluster.SubmitRequest{Jobs: specs})
+		resp := co.Preload(specs)
 		fmt.Fprintf(os.Stderr, "tlsserve: preloaded %d grid jobs (%d already done)\n",
 			resp.Accepted, resp.Done)
 	}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/cluster"
@@ -46,6 +47,8 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
 		coordF   = flag.String("coordinator", "", "run the sweep on a distributed fleet via this tlsserve URL (execution flags then apply coordinator/worker-side)")
+		rpcT     = flag.Duration("rpc-timeout", 30*time.Second, "total per-RPC deadline against the coordinator")
+		dialT    = flag.Duration("dial-timeout", 5*time.Second, "connection-attempt deadline against the coordinator")
 	)
 	flag.Parse()
 
@@ -188,7 +191,9 @@ func main() {
 		// The fleet path: jobs travel to the coordinator by content key;
 		// caching, journaling and checkpointing happen coordinator- and
 		// worker-side. Results are identical to the local runner's.
-		client := &cluster.Client{URL: *coordF, Progress: runner.Progress,
+		client := &cluster.Client{URL: *coordF, Name: cluster.ClientName("tlssweep"),
+			Progress:   runner.Progress,
+			RPCTimeout: *rpcT, DialTimeout: *dialT,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "tlssweep: "+format+"\n", args...)
 			}}

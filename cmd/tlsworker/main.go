@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/chaosnet"
 	"repro/internal/exp"
 )
 
@@ -41,6 +42,11 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		drain    = flag.Bool("drain", true, "on the first signal, drain gracefully: interrupt in-flight simulations, release leases, exit 130")
 		metricsF = flag.Bool("metrics", false, "print a local run-metrics summary line to stderr at exit")
+
+		rpcTimeout  = flag.Duration("rpc-timeout", 30*time.Second, "total per-RPC deadline against the coordinator")
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "connection-attempt deadline against the coordinator")
+		chaosNet    = flag.String("chaos-net", "", "inject seeded network chaos on this worker's transport: hostile, campaign, or byzantine")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for the -chaos-net fault plan")
 	)
 	flag.Parse()
 
@@ -61,7 +67,10 @@ func main() {
 	if *metricsF {
 		metrics = new(exp.Metrics)
 	}
-	w := cluster.NewWorker(cluster.WorkerConfig{
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tlsworker: "+format+"\n", args...)
+	}
+	wcfg := cluster.WorkerConfig{
 		Name:            wname,
 		Coordinator:     *coord,
 		Parallel:        *jobs,
@@ -72,10 +81,21 @@ func main() {
 		CheckpointEvery: *ckptN,
 		Observe:         *observe,
 		Metrics:         metrics,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tlsworker: "+format+"\n", args...)
-		},
-	})
+		RPCTimeout:      *rpcTimeout,
+		DialTimeout:     *dialTimeout,
+		Logf:            logf,
+	}
+	if *chaosNet != "" {
+		ccfg, err := chaosnet.Profile(*chaosNet, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsworker: -chaos-net: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tlsworker: chaos-net armed: %s\n", ccfg)
+		wcfg.HTTP = chaosnet.Client(
+			cluster.HTTPClient(*dialTimeout, *rpcTimeout), chaosnet.New(ccfg), wname, logf)
+	}
+	w := cluster.NewWorker(wcfg)
 
 	// Two-stage shutdown: the first signal cancels the pull loop; Run then
 	// drains (interrupt, checkpoint, release, final heartbeat) before

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// jitterSeed derives a stable seed from an endpoint's name (FNV-1a), so a
+// fleet of distinctly named workers decorrelates its retry schedules
+// without configuration while any single endpoint stays reproducible.
+func jitterSeed(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// backoff is a seeded full-jitter retry schedule: retry n sleeps
+// uniform(1, min(cap, base<<n)). Full jitter is what breaks the thundering
+// herd a restarted fleet produces under synchronized pure-doubling backoff;
+// the explicit seed keeps tests and replayed chaos campaigns deterministic.
+type backoff struct {
+	r       *rng.Source
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+}
+
+func newBackoff(seed uint64, base, cap time.Duration) *backoff {
+	return &backoff{r: rng.New(seed), base: base, cap: cap}
+}
+
+// next draws the sleep before the upcoming retry and advances the schedule.
+func (b *backoff) next() time.Duration {
+	shift := b.attempt
+	if shift > 20 {
+		shift = 20
+	}
+	ceil := b.base << uint(shift)
+	if ceil <= 0 || ceil > b.cap {
+		ceil = b.cap
+	}
+	b.attempt++
+	if ceil <= 0 {
+		return 0
+	}
+	return 1 + time.Duration(b.r.Uint64()%uint64(ceil))
+}
+
+// reset rewinds the schedule after a success.
+func (b *backoff) reset() { b.attempt = 0 }
+
+// StatusError is a non-200 coordinator reply. RetryAfter carries the
+// Retry-After header when the coordinator shed the request (429), so retry
+// loops can honor the coordinator's own estimate instead of guessing.
+type StatusError struct {
+	URL        string
+	Code       int
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("cluster: %s: %d (retry after %v)", e.URL, e.Code, e.RetryAfter)
+	}
+	return fmt.Sprintf("cluster: %s: %d", e.URL, e.Code)
+}
+
+// HTTPClient builds the fabric's default HTTP client explicitly — the same
+// one Client/Worker build when their HTTP field is nil. CLIs use it as the
+// base transport under a chaosnet wrapper.
+func HTTPClient(dial, total time.Duration) *http.Client { return httpClient(dial, total) }
+
+// httpClient builds the fabric's default HTTP client: connection attempts
+// fail fast on their own clock (dial, default 5s) while the whole RPC is
+// bounded separately (total, default 30s) — so a partitioned peer costs a
+// quick connect timeout instead of hanging a full request timeout.
+func httpClient(dial, total time.Duration) *http.Client {
+	if dial <= 0 {
+		dial = 5 * time.Second
+	}
+	if total <= 0 {
+		total = 30 * time.Second
+	}
+	return &http.Client{
+		Timeout: total,
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}

@@ -1,0 +1,497 @@
+// Package chaosnet injects seeded, deterministic network faults into the
+// campaign fabric's coordinator<->worker RPCs. It is the process-boundary
+// sibling of internal/fault: where a fault.Plan decides at hook points
+// inside the simulator whether to squash, delay or overflow, a chaosnet.Plan
+// decides at the HTTP layer whether to drop, delay, duplicate, reorder,
+// truncate or corrupt a message — plus time-windowed partition schedules
+// (worker isolated, coordinator unreachable, asymmetric request-only
+// delivery).
+//
+// Two properties carry over from the fault package:
+//
+//   - Replayability: a Plan's decision stream and its partition schedule are
+//     pure functions of its Config, so the same -chaos-seed arms the
+//     identical fault schedule on every run. (Unlike the single-threaded
+//     simulator, the network is concurrent: which RPC draws which verdict
+//     depends on goroutine interleaving, so chaosnet promises an identical
+//     schedule, not an identical interleaving — the fabric's own determinism
+//     guarantee, artifacts byte-identical to a serial run, is what must hold
+//     under ANY interleaving.)
+//   - Boundedness: every plan carries a MaxFaults budget; once spent, all
+//     verdicts are clean and the network heals, so an injection storm cannot
+//     livelock a campaign. Partition windows are schedule-driven and end on
+//     their own; they do not consume budget.
+//
+// Every fault class maps to a failure the fabric claims to survive:
+//
+//	Drop      request vanishes before the peer sees it (lost packet)
+//	Blackhole request delivered, response lost (the duplicate-delivery
+//	          generator: the sender must retry an already-applied RPC)
+//	Delay     request held 1..DelayMax before sending (congestion)
+//	Dup       request delivered twice (retransmission storm)
+//	Reorder   request held until the NEXT request overtakes it (or
+//	          ReorderHold elapses), producing genuine pairwise reordering
+//	Truncate  response body cut short (torn read; decoder must reject)
+//	Corrupt   one digit of the request body is flipped — the outer JSON
+//	          stays well-formed, so the corruption can only be caught by
+//	          the envelope CRC (a byzantine sender looks exactly like this)
+//
+// Corruption targets requests and truncation targets responses on purpose:
+// a corrupted response could silently rewrite a leased JobSpec before the
+// worker re-hashes it, turning transport noise into a permanent job failure,
+// whereas corrupted requests always land on a CRC- or idempotency-protected
+// ingest path.
+package chaosnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind names one network-fault class.
+type Kind uint8
+
+const (
+	Drop Kind = iota
+	Blackhole
+	Delay
+	Dup
+	Reorder
+	Truncate
+	Corrupt
+	// Refused counts connections rejected by a partition window (schedule-
+	// driven; does not consume the probabilistic budget).
+	Refused
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Blackhole:
+		return "blackhole"
+	case Delay:
+		return "delay"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Refused:
+		return "refused"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Mode is what a partition window does to matching traffic.
+type Mode uint8
+
+const (
+	// Refuse fails the RPC immediately (connection refused / peer gone).
+	Refuse Mode = iota
+	// BlackholeResp delivers requests but discards responses — the
+	// asymmetric partition, and the nastiest: every RPC in the window is
+	// applied exactly once on the far side yet looks failed to the sender.
+	BlackholeResp
+)
+
+func (m Mode) String() string {
+	if m == BlackholeResp {
+		return "blackhole-resp"
+	}
+	return "refuse"
+}
+
+// Partition is one scheduled outage window, relative to the plan's arming.
+type Partition struct {
+	// Start and Dur bound the window ([Start, Start+Dur) since Arm).
+	Start, Dur time.Duration
+	// Peer selects whose traffic the window hits: "" matches every
+	// endpoint, otherwise the Transport/Listener whose Self equals Peer.
+	Peer string
+	// Mode is what happens to matching traffic inside the window.
+	Mode Mode
+}
+
+func (p Partition) String() string {
+	peer := p.Peer
+	if peer == "" {
+		peer = "*"
+	}
+	return fmt.Sprintf("%s@%v+%v:%s", peer, p.Start, p.Dur, p.Mode)
+}
+
+// Config parameterizes one plan. The zero value injects nothing;
+// probabilities are per RPC.
+type Config struct {
+	// Seed drives the plan's private decision stream.
+	Seed uint64
+	// DropProb is the chance a request is dropped before it is sent.
+	DropProb float64
+	// BlackholeProb is the chance a delivered request's response is lost.
+	BlackholeProb float64
+	// DelayProb is the chance a request is held 1..DelayMax before sending.
+	DelayProb float64
+	DelayMax  time.Duration
+	// DupProb is the chance a request is delivered twice.
+	DupProb float64
+	// ReorderProb is the chance a request is held until the next request
+	// overtakes it, or ReorderHold elapses with no overtaker.
+	ReorderProb float64
+	ReorderHold time.Duration
+	// TruncProb is the chance a response body is cut short.
+	TruncProb float64
+	// CorruptProb is the chance one digit of the request body is flipped.
+	CorruptProb float64
+	// Partitions is the outage schedule (windows relative to Arm).
+	Partitions []Partition
+	// MaxFaults bounds total probabilistic injections (0 = DefaultBudget).
+	MaxFaults int
+}
+
+// DefaultBudget is the injection budget used when MaxFaults is 0. Network
+// RPCs are far more numerous than simulator hook firings, so the budget is
+// correspondingly larger than fault.DefaultBudget.
+const DefaultBudget = 4096
+
+// Enabled reports whether the config can disturb anything at all.
+func (c Config) Enabled() bool {
+	return c.DropProb > 0 || c.BlackholeProb > 0 || c.DelayProb > 0 ||
+		c.DupProb > 0 || c.ReorderProb > 0 || c.TruncProb > 0 ||
+		c.CorruptProb > 0 || len(c.Partitions) > 0
+}
+
+func (c Config) String() string {
+	parts := []string{fmt.Sprintf("seed=%d drop=%.3f blackhole=%.3f delay=%.3f/%v dup=%.3f reorder=%.3f/%v trunc=%.3f corrupt=%.3f budget=%d",
+		c.Seed, c.DropProb, c.BlackholeProb, c.DelayProb, c.DelayMax,
+		c.DupProb, c.ReorderProb, c.ReorderHold, c.TruncProb, c.CorruptProb, c.max())}
+	for _, p := range c.Partitions {
+		parts = append(parts, "partition="+p.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c Config) max() int {
+	if c.MaxFaults <= 0 {
+		return DefaultBudget
+	}
+	return c.MaxFaults
+}
+
+// Hostile derives the drill profile from a seed: every fault class armed at
+// meaningful rates, one full partition (everyone loses the coordinator) and
+// one asymmetric partition (requests land, responses vanish). This is the
+// plan the cluster-chaos drill and the acceptance tests run under.
+func Hostile(seed uint64) Config {
+	r := rng.New(seed ^ 0x9e7c0ffee7c0ffee)
+	c := Config{
+		Seed:          seed,
+		DropProb:      0.03 + 0.03*r.Float64(),
+		BlackholeProb: 0.03 + 0.03*r.Float64(),
+		DelayProb:     0.10 + 0.15*r.Float64(),
+		DelayMax:      time.Duration(10+r.Intn(40)) * time.Millisecond,
+		DupProb:       0.05 + 0.08*r.Float64(),
+		ReorderProb:   0.05 + 0.08*r.Float64(),
+		ReorderHold:   time.Duration(10+r.Intn(30)) * time.Millisecond,
+		TruncProb:     0.02 + 0.04*r.Float64(),
+		CorruptProb:   0.02 + 0.03*r.Float64(),
+		MaxFaults:     2048 + r.Intn(2048),
+	}
+	c.Partitions = []Partition{
+		{ // coordinator unreachable for everyone
+			Start: time.Duration(200+r.Intn(400)) * time.Millisecond,
+			Dur:   time.Duration(150+r.Intn(250)) * time.Millisecond,
+			Mode:  Refuse,
+		},
+		{ // asymmetric: delivered but unacknowledged
+			Start: time.Duration(900+r.Intn(400)) * time.Millisecond,
+			Dur:   time.Duration(100+r.Intn(200)) * time.Millisecond,
+			Mode:  BlackholeResp,
+		},
+	}
+	return c
+}
+
+// Campaign derives a randomized moderate profile from a seed, in the style
+// of fault.CampaignConfig: each seed turns a different mix of classes on, so
+// a sweep of seeds covers quiet networks, single-fault stress and storms.
+func Campaign(seed uint64) Config {
+	r := rng.New(seed ^ 0xc8a05ca05ca05)
+	c := Config{Seed: seed}
+	if r.Bool(0.7) {
+		c.DropProb = 0.01 + 0.04*r.Float64()
+	}
+	if r.Bool(0.7) {
+		c.BlackholeProb = 0.01 + 0.04*r.Float64()
+	}
+	if r.Bool(0.7) {
+		c.DelayProb = 0.05 + 0.2*r.Float64()
+		c.DelayMax = time.Duration(5+r.Intn(60)) * time.Millisecond
+	}
+	if r.Bool(0.7) {
+		c.DupProb = 0.02 + 0.08*r.Float64()
+	}
+	if r.Bool(0.5) {
+		c.ReorderProb = 0.02 + 0.08*r.Float64()
+		c.ReorderHold = time.Duration(5+r.Intn(30)) * time.Millisecond
+	}
+	if r.Bool(0.5) {
+		c.TruncProb = 0.01 + 0.03*r.Float64()
+	}
+	if r.Bool(0.5) {
+		c.CorruptProb = 0.01 + 0.03*r.Float64()
+	}
+	if r.Bool(0.5) {
+		c.Partitions = append(c.Partitions, Partition{
+			Start: time.Duration(200+r.Intn(800)) * time.Millisecond,
+			Dur:   time.Duration(100+r.Intn(400)) * time.Millisecond,
+			Mode:  Refuse,
+		})
+	}
+	c.MaxFaults = 512 + r.Intn(2048)
+	return c
+}
+
+// Byzantine is the lying-endpoint profile: every request body is corrupted
+// (well-formed JSON, broken CRC seal) with an effectively unlimited budget.
+// A worker armed with it exercises the coordinator's envelope rejection and
+// circuit-breaker quarantine end to end.
+func Byzantine(seed uint64) Config {
+	return Config{Seed: seed, CorruptProb: 1, MaxFaults: 1 << 30}
+}
+
+// Profile resolves a -chaos-net profile name ("hostile", "campaign",
+// "byzantine") and seed to a Config.
+func Profile(name string, seed uint64) (Config, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "hostile":
+		return Hostile(seed), nil
+	case "campaign":
+		return Campaign(seed), nil
+	case "byzantine":
+		return Byzantine(seed), nil
+	}
+	return Config{}, fmt.Errorf("chaosnet: unknown profile %q (hostile, campaign, byzantine)", name)
+}
+
+// Verdict is one RPC's fate, drawn from the plan's decision stream.
+type Verdict struct {
+	// Refuse fails the RPC immediately (partition window).
+	Refuse bool
+	// Drop loses the request before it is sent.
+	Drop bool
+	// Blackhole delivers the request but loses the response (a partition
+	// window in BlackholeResp mode sets it too).
+	Blackhole bool
+	// Delay holds the request this long before sending (0 = on time).
+	Delay time.Duration
+	// Hold parks the request until the next one overtakes it.
+	Hold bool
+	// Dup delivers the request twice.
+	Dup bool
+	// Corrupt flips one digit of the request body.
+	Corrupt bool
+	// Trunc cuts the response body short.
+	Trunc bool
+}
+
+// AcceptVerdict is one inbound connection's fate on a chaotic listener.
+type AcceptVerdict struct {
+	// Refuse closes the connection immediately after accepting it.
+	Refuse bool
+	// Delay stalls the accept loop this long before handing the
+	// connection to the server (0 = on time).
+	Delay time.Duration
+}
+
+// Plan is one endpoint's armed fault schedule. It is safe for concurrent
+// use: the fabric's RPCs race by design, so the decision stream is drawn
+// under a lock (the stream itself stays a pure function of the Config; the
+// assignment of verdicts to RPCs follows arrival order).
+type Plan struct {
+	cfg Config
+	now func() time.Time
+
+	mu     sync.Mutex
+	r      *rng.Source
+	start  time.Time
+	counts [numKinds]int
+	total  int
+}
+
+// New builds and arms the plan: partition windows are measured from now.
+func New(cfg Config) *Plan {
+	p := &Plan{cfg: cfg, now: time.Now, r: rng.New(cfg.Seed ^ 0x5eedfee1dab1e)}
+	p.start = p.now()
+	return p
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// note records an injection and reports whether the budget allowed it.
+// Callers hold p.mu.
+func (p *Plan) note(k Kind) bool {
+	if k != Refused && p.total >= p.cfg.max() {
+		return false
+	}
+	if k != Refused {
+		p.total++
+	}
+	p.counts[k]++
+	return true
+}
+
+// partitionLocked returns the active window for peer, if any.
+func (p *Plan) partitionLocked(peer string) (Partition, bool) {
+	elapsed := p.now().Sub(p.start)
+	for _, w := range p.cfg.Partitions {
+		if w.Peer != "" && w.Peer != peer {
+			continue
+		}
+		if elapsed >= w.Start && elapsed < w.Start+w.Dur {
+			return w, true
+		}
+	}
+	return Partition{}, false
+}
+
+// Verdict draws one RPC's fate for the endpoint named self. The draw order
+// is fixed (drop, blackhole, delay, dup, reorder, trunc, corrupt) so the
+// decision stream replays identically for a given seed.
+func (p *Plan) Verdict(self string) Verdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v Verdict
+	if w, ok := p.partitionLocked(self); ok {
+		if w.Mode == Refuse {
+			p.note(Refused)
+			v.Refuse = true
+			return v
+		}
+		v.Blackhole = true // BlackholeResp: deliver, lose the response
+		p.note(Refused)
+	}
+	if p.r.Bool(p.cfg.DropProb) && p.note(Drop) {
+		v.Drop = true
+	}
+	if p.r.Bool(p.cfg.BlackholeProb) && p.note(Blackhole) {
+		v.Blackhole = true
+	}
+	if p.r.Bool(p.cfg.DelayProb) && p.cfg.DelayMax > 0 && !p.exhaustedLocked() {
+		v.Delay = time.Duration(1 + p.r.Intn(int(p.cfg.DelayMax)))
+		p.note(Delay)
+	}
+	if p.r.Bool(p.cfg.DupProb) && p.note(Dup) {
+		v.Dup = true
+	}
+	if p.r.Bool(p.cfg.ReorderProb) && p.note(Reorder) {
+		v.Hold = true
+	}
+	if p.r.Bool(p.cfg.TruncProb) && p.note(Truncate) {
+		v.Trunc = true
+	}
+	if p.r.Bool(p.cfg.CorruptProb) && p.note(Corrupt) {
+		v.Corrupt = true
+	}
+	return v
+}
+
+// Accept draws one inbound connection's fate for a chaotic listener named
+// self. Drop plays as refuse-at-accept; delay stalls the accept loop.
+func (p *Plan) Accept(self string) AcceptVerdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var v AcceptVerdict
+	if w, ok := p.partitionLocked(self); ok && w.Mode == Refuse {
+		p.note(Refused)
+		v.Refuse = true
+		return v
+	}
+	if p.r.Bool(p.cfg.DropProb) && p.note(Drop) {
+		v.Refuse = true
+		return v
+	}
+	if p.r.Bool(p.cfg.DelayProb) && p.cfg.DelayMax > 0 && !p.exhaustedLocked() {
+		v.Delay = time.Duration(1 + p.r.Intn(int(p.cfg.DelayMax)))
+		p.note(Delay)
+	}
+	return v
+}
+
+func (p *Plan) exhaustedLocked() bool { return p.total >= p.cfg.max() }
+
+// Pick returns a deterministic index in [0, n) for choosing a corruption
+// target. It panics if n <= 0.
+func (p *Plan) Pick(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.r.Intn(n)
+}
+
+// Total returns how many probabilistic faults have been injected.
+func (p *Plan) Total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Count returns how many injections of kind k have occurred.
+func (p *Plan) Count(k Kind) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[k]
+}
+
+// Summary renders the per-kind injection counts ("none" when quiet).
+func (p *Plan) Summary() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.total == 0 && p.counts[Refused] == 0 {
+		return "none"
+	}
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if n := p.counts[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// CorruptBody flips one digit of body in place, choosing the position from
+// the plan's stream. Digits XOR 1 stay digits, so JSON structure survives
+// while any CRC seal over the bytes breaks — transport corruption that can
+// only be caught by end-to-end checks. Returns false if body has no digits.
+func (p *Plan) CorruptBody(body []byte) bool {
+	digits := 0
+	for _, b := range body {
+		if b >= '0' && b <= '9' {
+			digits++
+		}
+	}
+	if digits == 0 {
+		return false
+	}
+	target := p.Pick(digits)
+	for i, b := range body {
+		if b >= '0' && b <= '9' {
+			if target == 0 {
+				body[i] ^= 1
+				return true
+			}
+			target--
+		}
+	}
+	return false
+}

@@ -1,0 +1,336 @@
+package chaosnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// planAt arms a plan on an injectable clock; move *off to travel in time.
+func planAt(cfg Config) (*Plan, *time.Duration) {
+	p := New(cfg)
+	off := new(time.Duration)
+	base := p.start
+	p.now = func() time.Time { return base.Add(*off) }
+	return p, off
+}
+
+func TestVerdictStreamReplays(t *testing.T) {
+	cfg := Hostile(42)
+	cfg.Partitions = nil // windows are time-driven; the stream is what replays
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		va, vb := a.Verdict("w"), b.Verdict("w")
+		if va != vb {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals diverged: %d vs %d", a.Total(), b.Total())
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, b := New(Hostile(1)), New(Hostile(2))
+	for i := 0; i < 500; i++ {
+		if a.Verdict("w") != b.Verdict("w") {
+			return
+		}
+	}
+	t.Fatal("seeds 1 and 2 drew identical verdicts for 500 RPCs")
+}
+
+func TestHostileProfileIsReproducible(t *testing.T) {
+	a, b := Hostile(7), Hostile(7)
+	if a.String() != b.String() {
+		t.Fatalf("Hostile(7) not stable:\n%s\n%s", a.String(), b.String())
+	}
+	if !a.Enabled() {
+		t.Fatal("Hostile profile should be enabled")
+	}
+	if len(a.Partitions) != 2 {
+		t.Fatalf("Hostile profile wants 2 partitions, got %d", len(a.Partitions))
+	}
+}
+
+func TestPartitionWindows(t *testing.T) {
+	cfg := Config{
+		Seed: 1,
+		Partitions: []Partition{
+			{Start: 100 * time.Millisecond, Dur: 50 * time.Millisecond, Mode: Refuse},
+			{Start: 200 * time.Millisecond, Dur: 50 * time.Millisecond, Mode: BlackholeResp, Peer: "w1"},
+		},
+	}
+	p, off := planAt(cfg)
+
+	if v := p.Verdict("w1"); v.Refuse || v.Blackhole {
+		t.Fatalf("before any window: %+v", v)
+	}
+	*off = 120 * time.Millisecond
+	if v := p.Verdict("w1"); !v.Refuse {
+		t.Fatalf("inside refuse window: %+v", v)
+	}
+	if v := p.Verdict("w2"); !v.Refuse {
+		t.Fatalf("peerless window should hit everyone: %+v", v)
+	}
+	*off = 220 * time.Millisecond
+	if v := p.Verdict("w1"); !v.Blackhole || v.Refuse {
+		t.Fatalf("inside asymmetric window: %+v", v)
+	}
+	if v := p.Verdict("w2"); v.Blackhole || v.Refuse {
+		t.Fatalf("asymmetric window pinned to w1 hit w2: %+v", v)
+	}
+	*off = 400 * time.Millisecond
+	if v := p.Verdict("w1"); v.Refuse || v.Blackhole {
+		t.Fatalf("after all windows: %+v", v)
+	}
+	if p.Count(Refused) == 0 {
+		t.Fatal("refused count not recorded")
+	}
+	if p.Total() != 0 {
+		t.Fatalf("partition windows must not spend budget, total=%d", p.Total())
+	}
+}
+
+func TestBudgetExhaustionHealsNetwork(t *testing.T) {
+	p := New(Config{Seed: 3, DropProb: 1, MaxFaults: 5})
+	for i := 0; i < 5; i++ {
+		if v := p.Verdict("w"); !v.Drop {
+			t.Fatalf("draw %d: expected drop, got %+v", i, v)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if v := p.Verdict("w"); v != (Verdict{}) {
+			t.Fatalf("budget spent but verdict %d dirty: %+v", i, v)
+		}
+	}
+	if p.Total() != 5 || p.Count(Drop) != 5 {
+		t.Fatalf("total=%d drop=%d, want 5/5", p.Total(), p.Count(Drop))
+	}
+}
+
+func TestCorruptBodyKeepsJSONBreaksCRC(t *testing.T) {
+	type msg struct {
+		Key  string `json:"key"`
+		Seed int    `json:"seed"`
+		Vals []int  `json:"vals"`
+	}
+	table := crc32.MakeTable(crc32.Castagnoli)
+	p := New(Config{Seed: 9, CorruptProb: 1, MaxFaults: 1 << 20})
+	for i := 0; i < 100; i++ {
+		body, err := json.Marshal(msg{Key: "k-1234", Seed: 987654, Vals: []int{1, 22, 333}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := crc32.Checksum(body, table)
+		if !p.CorruptBody(body) {
+			t.Fatal("body with digits not corrupted")
+		}
+		if !json.Valid(body) {
+			t.Fatalf("corrupted body is invalid JSON: %s", body)
+		}
+		if crc32.Checksum(body, table) == before {
+			t.Fatal("corruption did not change the checksum")
+		}
+		var m msg
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("corrupted body no longer decodes: %v", err)
+		}
+	}
+	if p.CorruptBody([]byte(`{"a":true}`)) {
+		t.Fatal("digitless body should report no corruption")
+	}
+}
+
+func TestTransportDupDelivers(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits.Add(1)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{
+		Plan: New(Config{Seed: 5, DupProb: 1, MaxFaults: 1}),
+		Self: "client",
+	}}
+	for i := 0; i < 2; i++ {
+		resp, err := hc.Post(srv.URL, "application/json", bytes.NewReader([]byte(`{"n":1}`)))
+		if err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// First request duplicated (budget 1), second clean: 3 deliveries total.
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d deliveries, want 3", got)
+	}
+}
+
+func TestTransportBlackholeLosesResponseNotRequest(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{
+		Plan: New(Config{Seed: 5, BlackholeProb: 1, MaxFaults: 1}),
+		Self: "client",
+	}}
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("blackholed RPC should error at the sender")
+	}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-budget request: %v", err)
+	}
+	resp.Body.Close()
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (blackhole still delivers)", got)
+	}
+}
+
+func TestTransportTruncateTearsResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"key":"abcdef","value":123456789}`)
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{
+		Plan: New(Config{Seed: 5, TruncProb: 1, MaxFaults: 1}),
+		Self: "client",
+	}}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+		t.Fatal("truncated response decoded cleanly")
+	}
+	resp.Body.Close()
+}
+
+func TestTransportDropAndRefuse(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	plan, off := planAt(Config{
+		Seed:       5,
+		DropProb:   1,
+		MaxFaults:  1,
+		Partitions: []Partition{{Start: time.Hour, Dur: time.Hour, Mode: Refuse}},
+	})
+	hc := &http.Client{Transport: &Transport{Plan: plan, Self: "client"}}
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("dropped request should error")
+	}
+	*off = 90 * time.Minute
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("partitioned request should error")
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests, want 0", got)
+	}
+}
+
+func TestTransportReorderHoldReleasesAlone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &Transport{
+		Plan: New(Config{Seed: 5, ReorderProb: 1, ReorderHold: 10 * time.Millisecond, MaxFaults: 1}),
+		Self: "client",
+	}}
+	start := time.Now()
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("held request released after %v, want >= hold bound", elapsed)
+	}
+}
+
+func TestListenerRefusesThenServes(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &Listener{
+		Listener: inner,
+		Plan:     New(Config{Seed: 5, DropProb: 1, MaxFaults: 2}),
+		Self:     "coordinator",
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	// First two connections are refused (closed on accept): reads see EOF.
+	for i := 0; i < 2; i++ {
+		c := dial()
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("conn %d: expected refuse, got data", i)
+		}
+		c.Close()
+	}
+	// Budget spent: the echo server is reachable again.
+	c := dial()
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo after heal: %q, %v", buf, err)
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	for _, name := range []string{"hostile", "campaign", "byzantine", " Hostile "} {
+		if _, err := Profile(name, 1); err != nil {
+			t.Fatalf("Profile(%q): %v", name, err)
+		}
+	}
+	if _, err := Profile("gentle", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	b := Byzantine(1)
+	if b.CorruptProb != 1 {
+		t.Fatal("byzantine profile must corrupt every request")
+	}
+}

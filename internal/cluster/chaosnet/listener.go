@@ -1,0 +1,45 @@
+package chaosnet
+
+import (
+	"net"
+	"time"
+)
+
+// Listener wraps a net.Listener with accept-side chaos: inside a Refuse
+// partition window (or on a Drop draw) an accepted connection is closed
+// immediately — the dialer sees a reset, exactly like a peer behind a
+// partition — and the accept loop keeps going. Faults are never surfaced
+// as Accept errors, because http.Server.Serve treats a non-temporary
+// Accept error as fatal and would stop serving for good; a chaotic
+// network degrades service, it must not end it.
+type Listener struct {
+	net.Listener
+	// Plan supplies accept verdicts; nil passes every connection through.
+	Plan *Plan
+	// Self names this endpoint for partition matching (e.g. "coordinator").
+	Self string
+	// Logf, when non-nil, receives one line per refused connection.
+	Logf func(format string, args ...any)
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil || l.Plan == nil {
+			return conn, err
+		}
+		v := l.Plan.Accept(l.Self)
+		if v.Refuse {
+			if l.Logf != nil {
+				l.Logf("chaosnet %s: connection from %s refused", l.Self, conn.RemoteAddr())
+			}
+			conn.Close()
+			continue
+		}
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		return conn, nil
+	}
+}

@@ -1,0 +1,209 @@
+package chaosnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Transport is a fault-injecting http.RoundTripper. It buffers each request
+// body, draws a verdict from the plan, and then drops, delays, holds,
+// duplicates, corrupts or forwards the request — and loses or truncates the
+// response — accordingly. Errors it synthesizes are ordinary transport
+// errors, indistinguishable from a flaky network to the caller, which is
+// the point: the fabric's retry, idempotency and CRC layers must absorb
+// them without help.
+type Transport struct {
+	// Base performs real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Plan supplies verdicts; a nil Plan forwards everything untouched.
+	Plan *Plan
+	// Self names this endpoint for partition matching (e.g. the worker
+	// name, or "client").
+	Self string
+	// Logf, when non-nil, receives one line per injected fault.
+	Logf func(format string, args ...any)
+
+	// gate implements reordering: a held request waits on the gate that was
+	// current when it drew its verdict; every request that proceeds to send
+	// replaces and closes the gate, releasing any holder it overtook.
+	gateMu sync.Mutex
+	gate   chan struct{}
+}
+
+var (
+	errDropped   = errors.New("chaosnet: request dropped")
+	errBlackhole = errors.New("chaosnet: response lost")
+	errRefused   = errors.New("chaosnet: connection refused (partition)")
+)
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Plan == nil {
+		return t.base().RoundTrip(req)
+	}
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	v := t.Plan.Verdict(t.Self)
+	switch {
+	case v.Refuse:
+		t.logf("chaosnet %s: %s %s refused (partition)", t.Self, req.Method, req.URL.Path)
+		return nil, errRefused
+	case v.Drop:
+		t.logf("chaosnet %s: %s %s dropped", t.Self, req.Method, req.URL.Path)
+		return nil, errDropped
+	}
+	if v.Hold {
+		t.hold(req)
+	}
+	if v.Delay > 0 {
+		t.logf("chaosnet %s: %s %s delayed %v", t.Self, req.Method, req.URL.Path, v.Delay)
+		if !sleepReq(req, v.Delay) {
+			return nil, req.Context().Err()
+		}
+	}
+	if v.Corrupt && len(body) > 0 {
+		if t.Plan.CorruptBody(body) {
+			t.logf("chaosnet %s: %s %s corrupted", t.Self, req.Method, req.URL.Path)
+		}
+	}
+	resp, err := t.send(req, body)
+	if v.Dup {
+		// Deliver the (possibly corrupted) request a second time; the
+		// duplicate's response is discarded. The receiver must treat the
+		// repeat as idempotent — dedupe, dup-result counting, absolute
+		// counters — for the campaign to stay correct.
+		t.logf("chaosnet %s: %s %s duplicated", t.Self, req.Method, req.URL.Path)
+		if dresp, derr := t.send(req, body); derr == nil {
+			io.Copy(io.Discard, dresp.Body)
+			dresp.Body.Close()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if v.Blackhole {
+		t.logf("chaosnet %s: %s %s response lost", t.Self, req.Method, req.URL.Path)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errBlackhole
+	}
+	if v.Trunc {
+		t.logf("chaosnet %s: %s %s response truncated", t.Self, req.Method, req.URL.Path)
+		resp.Body = truncateBody(resp.Body)
+	}
+	return resp, nil
+}
+
+// send performs one real round trip with a fresh body reader, announcing
+// the send to any held (reordered) request first.
+func (t *Transport) send(req *http.Request, body []byte) (*http.Response, error) {
+	t.announce()
+	r := req.Clone(req.Context())
+	if body != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		r.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
+	return t.base().RoundTrip(r)
+}
+
+// announce closes the current reorder gate (releasing any held request this
+// send overtakes) and installs a fresh one.
+func (t *Transport) announce() {
+	t.gateMu.Lock()
+	if t.gate != nil {
+		close(t.gate)
+	}
+	t.gate = make(chan struct{})
+	t.gateMu.Unlock()
+}
+
+// hold parks the request until another request overtakes it, ReorderHold
+// elapses, or the request's context dies.
+func (t *Transport) hold(req *http.Request) {
+	t.gateMu.Lock()
+	if t.gate == nil {
+		t.gate = make(chan struct{})
+	}
+	gate := t.gate
+	t.gateMu.Unlock()
+	holdFor := t.Plan.Config().ReorderHold
+	if holdFor <= 0 {
+		holdFor = 20 * time.Millisecond
+	}
+	t.logf("chaosnet %s: %s %s held for reorder", t.Self, req.Method, req.URL.Path)
+	timer := time.NewTimer(holdFor)
+	defer timer.Stop()
+	select {
+	case <-gate: // overtaken: genuine reordering happened
+	case <-timer.C: // nobody came: release on the hold bound
+	case <-req.Context().Done():
+	}
+}
+
+// sleepReq sleeps d, returning false if the request's context died first.
+func sleepReq(req *http.Request, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-req.Context().Done():
+		return false
+	}
+}
+
+// truncateBody cuts a response body roughly in half, so the receiver's
+// decoder sees a torn read and must reject rather than half-apply it.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, err := io.ReadAll(body)
+	body.Close()
+	if err != nil || len(data) < 2 {
+		return io.NopCloser(bytes.NewReader(nil))
+	}
+	return io.NopCloser(bytes.NewReader(data[:len(data)/2]))
+}
+
+// Client wraps an existing http.Client with a chaos transport, preserving
+// its timeout. A nil plan returns hc unchanged.
+func Client(hc *http.Client, plan *Plan, self string, logf func(string, ...any)) *http.Client {
+	if plan == nil {
+		return hc
+	}
+	var base http.RoundTripper
+	var timeout time.Duration
+	if hc != nil {
+		base = hc.Transport
+		timeout = hc.Timeout
+	}
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &Transport{Base: base, Plan: plan, Self: self, Logf: logf},
+	}
+}

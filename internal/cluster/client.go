@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
@@ -23,15 +25,44 @@ import (
 type Client struct {
 	// URL is the coordinator's base URL (http://host:port).
 	URL string
+	// Name identifies this client to the coordinator's fair per-client
+	// submit admission; unnamed clients are exempt from rate limiting.
+	Name string
 	// Poll is the result-polling interval (default 200ms).
 	Poll time.Duration
 	// Progress, when non-nil, is called once per job as its outcome arrives.
 	Progress func(exp.JobResult)
 	// Logf, when non-nil, receives operational log lines (reconnects).
 	Logf func(format string, args ...any)
-	// HTTP overrides the transport; nil uses a client with sane timeouts.
+	// HTTP overrides the transport (tests, chaos injection); nil builds a
+	// client from RPCTimeout/DialTimeout.
 	HTTP *http.Client
+	// RPCTimeout bounds each coordinator RPC (default 30s); DialTimeout
+	// bounds the connection attempt alone (default 5s), so a partitioned
+	// coordinator fails fast instead of hanging the full RPC timeout.
+	RPCTimeout  time.Duration
+	DialTimeout time.Duration
+	// Seed drives retry-jitter determinism (0 = derived from Name and URL).
+	Seed uint64
+
+	hcOnce sync.Once
+	hc     *http.Client
 }
+
+// ClientName derives a fleet-unique client identity (prefix-host-pid) for
+// the coordinator's fair per-client submit admission.
+func ClientName(prefix string) string {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "client"
+	}
+	return fmt.Sprintf("%s-%s-%d", prefix, host, os.Getpid())
+}
+
+// maxRejections is how many coordinator spec rejections a key absorbs
+// before the client fails it permanently: transient submit-body corruption
+// heals on resubmission, genuine client/coordinator version skew does not.
+const maxRejections = 3
 
 // submitChunk bounds jobs per submit POST; resultsChunk keys per poll.
 const (
@@ -50,7 +81,15 @@ func (c *Client) client() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	c.hcOnce.Do(func() { c.hc = httpClient(c.DialTimeout, c.RPCTimeout) })
+	return c.hc
+}
+
+func (c *Client) seed() uint64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return jitterSeed("client|" + c.Name + "|" + c.URL)
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -83,14 +122,46 @@ func (c *Client) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult,
 		byKey[key] = append(byKey[key], i)
 	}
 
-	if err := c.submit(ctx, specs); err != nil {
-		return c.abandon(ctx, jobs, out, resolved), err
-	}
-
 	pending := make(map[string]bool, len(keys))
 	for _, key := range keys {
 		pending[key] = true
 	}
+
+	// The coordinator rejects (rather than registers) specs that do not
+	// re-hash to their key — version skew, or a corrupted submit body. A
+	// rejected key stays pending, comes back Unknown from the results poll,
+	// and is resubmitted; only a key rejected maxRejections times is failed.
+	rejections := make(map[string]int)
+	applyRejections := func(rejected []string) {
+		for _, key := range rejected {
+			if !pending[key] {
+				continue
+			}
+			rejections[key]++
+			c.logf("cluster client: coordinator rejected spec %.12s (%d/%d)", key, rejections[key], maxRejections)
+			if rejections[key] < maxRejections {
+				continue
+			}
+			delete(pending, key)
+			for _, i := range byKey[key] {
+				out[i] = exp.JobResult{
+					Job: jobs[i],
+					Err: fmt.Errorf("job %s: coordinator rejected the spec %d times (client/coordinator version skew?)",
+						jobs[i].Label(), maxRejections),
+				}
+				resolved[i] = true
+				if c.Progress != nil {
+					c.Progress(out[i])
+				}
+			}
+		}
+	}
+
+	rejected, err := c.submit(ctx, specs)
+	if err != nil {
+		return c.abandon(ctx, jobs, out, resolved), err
+	}
+	applyRejections(rejected)
 	hc := c.client()
 	for len(pending) > 0 {
 		if !sleepCtx(ctx, c.poll()) {
@@ -147,9 +218,11 @@ func (c *Client) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult,
 					remaining = append(remaining, s)
 				}
 			}
-			if err := c.submit(ctx, remaining); err != nil {
+			rejected, err := c.submit(ctx, remaining)
+			if err != nil {
 				return c.abandon(ctx, jobs, out, resolved), err
 			}
+			applyRejections(rejected)
 		}
 	}
 	return out, nil
@@ -175,28 +248,37 @@ func (c *Client) decode(jobs []exp.Job, idx []int, env Envelope) (exp.JobResult,
 }
 
 // submit registers specs with the coordinator, retrying through transient
-// errors until ctx dies.
-func (c *Client) submit(ctx context.Context, specs []JobSpec) error {
+// errors and overload sheds (429 + Retry-After, honored with jitter on top)
+// until ctx dies. It returns the keys the coordinator rejected as
+// unresolvable.
+func (c *Client) submit(ctx context.Context, specs []JobSpec) ([]string, error) {
 	hc := c.client()
+	bo := newBackoff(c.seed(), 100*time.Millisecond, 5*time.Second)
+	var rejected []string
 	for start := 0; start < len(specs); start += submitChunk {
 		end := min(start+submitChunk, len(specs))
-		backoff := 100 * time.Millisecond
+		bo.reset()
 		for {
 			var resp SubmitResponse
-			err := postJSON(hc, c.URL+"/v1/submit", SubmitRequest{Jobs: specs[start:end]}, &resp)
+			err := postJSON(hc, c.URL+"/v1/submit", SubmitRequest{Jobs: specs[start:end], Client: c.Name}, &resp)
 			if err == nil {
+				rejected = append(rejected, resp.Rejected...)
 				break
 			}
-			c.logf("cluster client: submit: %v (will retry)", err)
-			if !sleepCtx(ctx, backoff) {
-				return ctx.Err()
+			wait := bo.next()
+			var se *StatusError
+			if errors.As(err, &se) && se.RetryAfter > 0 {
+				// The coordinator shed us: its Retry-After estimate plus our
+				// own jitter, so a shed fleet does not return in lockstep.
+				wait += se.RetryAfter
 			}
-			if backoff < 5*time.Second {
-				backoff *= 2
+			c.logf("cluster client: submit: %v (retry in %v)", err, wait)
+			if !sleepCtx(ctx, wait) {
+				return rejected, ctx.Err()
 			}
 		}
 	}
-	return nil
+	return rejected, nil
 }
 
 // abandon fills every unresolved slot with ctx's error, mirroring the local

@@ -217,7 +217,10 @@ func (f *fixedClock) advance(d time.Duration) {
 func submitOne(t *testing.T, co *Coordinator, seed uint64) JobSpec {
 	t.Helper()
 	spec := SpecOf(exp.Job{Machine: machine.CMP8(), Scheme: core.MultiTMVLazy, Profile: tinyProfile(), Seed: seed})
-	resp := co.Submit(SubmitRequest{Jobs: []JobSpec{spec}})
+	resp, err := co.Submit(SubmitRequest{Jobs: []JobSpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.Accepted != 1 || resp.Done != 0 {
 		t.Fatalf("submit: %+v", resp)
 	}

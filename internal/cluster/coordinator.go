@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +46,23 @@ type Config struct {
 	// is failed permanently (default 2). Watchdog timeouts fail immediately:
 	// a deterministic simulation that hung once will hang everywhere.
 	FailLimit int
+	// MaxPending bounds the pending queue (0 = unbounded). Submissions that
+	// would grow the queue past the bound are shed with an OverloadError
+	// (HTTP 429 + Retry-After) instead of accepted into an ever-longer line.
+	MaxPending int
+	// SubmitRate and SubmitBurst arm fair per-client admission: each named
+	// client refills SubmitRate job tokens per second up to SubmitBurst
+	// (default 400). Zero SubmitRate disables rate limiting. Unnamed clients
+	// (the coordinator's own preload, legacy clients) are exempt.
+	SubmitRate  float64
+	SubmitBurst int
+	// QuarantineFor is the circuit breaker's base quarantine (default 30s);
+	// each repeat trip doubles it, capped at 8x. BreakerCRCLimit consecutive
+	// CRC-invalid completions (default 3) or BreakerExpiryLimit consecutive
+	// lease expiries (default 5) trip a worker's breaker.
+	QuarantineFor      time.Duration
+	BreakerCRCLimit    int
+	BreakerExpiryLimit int
 }
 
 func (c Config) leaseTTL() time.Duration {
@@ -89,6 +108,34 @@ func (c Config) failLimit() int {
 	return c.FailLimit
 }
 
+func (c Config) submitBurst() int {
+	if c.SubmitBurst <= 0 {
+		return 400
+	}
+	return c.SubmitBurst
+}
+
+func (c Config) quarantineFor() time.Duration {
+	if c.QuarantineFor <= 0 {
+		return 30 * time.Second
+	}
+	return c.QuarantineFor
+}
+
+func (c Config) breakerCRCLimit() int {
+	if c.BreakerCRCLimit <= 0 {
+		return 3
+	}
+	return c.BreakerCRCLimit
+}
+
+func (c Config) breakerExpiryLimit() int {
+	if c.BreakerExpiryLimit <= 0 {
+		return 5
+	}
+	return c.BreakerExpiryLimit
+}
+
 // Chaotic reports whether the spec carries chaos instrumentation (mirrors
 // exp.Job: such jobs bypass the result cache because their verdict is not
 // reconstructible from sim.Result).
@@ -107,9 +154,9 @@ const (
 
 // jobEntry is the coordinator's record of one distinct job key.
 type jobEntry struct {
-	spec       JobSpec
-	job        exp.Job // resolved from spec (only valid when resolveErr == "")
-	resolveErr string
+	spec JobSpec
+	job  exp.Job // resolved from spec; specs that fail to resolve are
+	// rejected at Submit and never become entries
 
 	state       jobState
 	queued      bool // present in the pending queue
@@ -138,6 +185,47 @@ type workerState struct {
 	counters  map[string]uint64 // absolute obs totals from heartbeats
 	cancel    []uint64          // leases to abandon, drained by heartbeat
 	completed int
+	brk       breaker
+}
+
+type breakerPhase uint8
+
+const (
+	breakerClosed breakerPhase = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (p breakerPhase) String() string {
+	switch p {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "probation"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one worker's circuit breaker. A worker that keeps delivering
+// CRC-invalid results (byzantine or bit-rotting) or keeps letting leases
+// expire (flapping) is quarantined: its lease requests come back empty with
+// a Retry-After hint until the quarantine lapses, then it is re-admitted on
+// probation — one lease at a time — and fully re-admitted only after a
+// CRC-valid delivery. Each repeat trip doubles the quarantine (capped 8x).
+type breaker struct {
+	phase        breakerPhase
+	consecCRC    int       // consecutive CRC-invalid completions
+	consecExpiry int       // consecutive lease expiries
+	openedAt     time.Time // when the breaker last tripped
+	trips        int       // lifetime trip count (drives quarantine length)
+	probation    uint64    // the single outstanding probe lease, if half-open
+}
+
+// bucketState is one client's submit-admission token bucket.
+type bucketState struct {
+	tokens float64
+	last   time.Time
 }
 
 // fleetCounters are the dashboard's scheduling counters.
@@ -154,6 +242,12 @@ type fleetCounters struct {
 	crcRejected       uint64 // completions failing the envelope checksum
 	requeues          uint64
 	journalErrors     uint64
+	shedSubmits       uint64 // submissions shed by the queue bound
+	rateLimited       uint64 // submissions refused by per-client admission
+	specRejects       uint64 // specs that did not re-hash to their own key
+	breakerOpens      uint64
+	breakerProbations uint64
+	breakerCloses     uint64
 }
 
 // Coordinator owns a campaign: the job set, the lease table, the journal and
@@ -169,6 +263,7 @@ type Coordinator struct {
 	leases   map[uint64]*lease
 	leaseSeq uint64
 	workers  map[string]*workerState
+	buckets  map[string]*bucketState // per-client submit admission
 	ctr      fleetCounters
 
 	ln   net.Listener
@@ -184,6 +279,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		jobs:    make(map[string]*jobEntry),
 		leases:  make(map[uint64]*lease),
 		workers: make(map[string]*workerState),
+		buckets: make(map[string]*bucketState),
 	}
 	if cfg.Journal != nil && cfg.Name != "" {
 		c.journalAppend(exp.JournalRecord{T: exp.RecCampaign, Name: cfg.Name})
@@ -200,15 +296,79 @@ func (c *Coordinator) journalAppend(rec exp.JournalRecord) {
 	}
 }
 
+// OverloadError reports an admission-control refusal (queue bound hit, or a
+// client over its submit rate) and how long to wait before retrying. The
+// HTTP layer renders it as 429 + Retry-After.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster: coordinator overloaded, retry after %v", e.RetryAfter)
+}
+
 // Submit registers jobs (idempotent by key) and resolves as many as possible
 // without leasing: joins to tracked keys, resumed outcomes from the replayed
-// journal, and result-cache hits.
-func (c *Coordinator) Submit(req SubmitRequest) SubmitResponse {
+// journal, and result-cache hits. Under overload it sheds instead of
+// queueing without bound: a non-nil *OverloadError carries the partial
+// response (already-registered jobs stay registered — resubmission joins
+// them) and a Retry-After hint.
+func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
+	if err := c.admitLocked(req.Client, len(req.Jobs)); err != nil {
+		return SubmitResponse{}, err
+	}
+	return c.submitLocked(req.Jobs, true)
+}
+
+// Preload registers jobs bypassing admission control — the coordinator's own
+// grid preload and resume seeding must never be shed or rate limited.
+func (c *Coordinator) Preload(specs []JobSpec) SubmitResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	resp, _ := c.submitLocked(specs, false)
+	return resp
+}
+
+// admitLocked charges the client's token bucket for an n-job submission.
+// Unnamed clients are exempt; the charge is capped at the burst size so one
+// oversized chunk cannot starve itself forever.
+func (c *Coordinator) admitLocked(client string, n int) error {
+	rate := c.cfg.SubmitRate
+	if rate <= 0 || client == "" || n <= 0 {
+		return nil
+	}
+	burst := float64(c.cfg.submitBurst())
+	now := c.now()
+	b := c.buckets[client]
+	if b == nil {
+		b = &bucketState{tokens: burst, last: now}
+		c.buckets[client] = b
+	}
+	b.tokens += rate * now.Sub(b.last).Seconds()
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	cost := float64(n)
+	if cost > burst {
+		cost = burst
+	}
+	if b.tokens < cost {
+		c.ctr.rateLimited++
+		wait := time.Duration((cost - b.tokens) / rate * float64(time.Second))
+		return &OverloadError{RetryAfter: wait}
+	}
+	b.tokens -= cost
+	return nil
+}
+
+func (c *Coordinator) submitLocked(specs []JobSpec, admit bool) (SubmitResponse, error) {
 	var resp SubmitResponse
-	for _, spec := range req.Jobs {
+	for _, spec := range specs {
 		if spec.Key == "" {
 			continue
 		}
@@ -219,12 +379,22 @@ func (c *Coordinator) Submit(req SubmitRequest) SubmitResponse {
 			}
 			continue
 		}
-		e := &jobEntry{spec: spec, leases: make(map[uint64]*lease)}
-		if job, err := spec.Job(); err != nil {
-			e.resolveErr = err.Error()
-		} else {
-			e.job = job
+		job, err := spec.Job()
+		if err != nil {
+			// The spec does not re-hash to its own key: version skew, or a
+			// corrupted submit body. Reject rather than register-and-fail —
+			// a clean resubmission of the real spec must be able to heal
+			// transport corruption, which a permanently failed key never
+			// could.
+			c.ctr.specRejects++
+			resp.Rejected = append(resp.Rejected, spec.Key)
+			continue
 		}
+		if admit && c.cfg.MaxPending > 0 && len(c.queue) >= c.cfg.MaxPending {
+			c.ctr.shedSubmits++
+			return resp, &OverloadError{RetryAfter: time.Second}
+		}
+		e := &jobEntry{spec: spec, job: job, leases: make(map[uint64]*lease)}
 		c.jobs[spec.Key] = e
 		c.order = append(c.order, spec.Key)
 		resp.Accepted++
@@ -234,22 +404,13 @@ func (c *Coordinator) Submit(req SubmitRequest) SubmitResponse {
 		}
 		c.enqueueLocked(e)
 	}
-	return resp
+	return resp, nil
 }
 
 // settleWithoutRunLocked tries to finish a freshly submitted entry without
-// leasing it: an unresolvable spec fails it, a journaled outcome or a result
-// cache hit completes it.
+// leasing it: a journaled outcome or a result cache hit completes it.
 func (c *Coordinator) settleWithoutRunLocked(e *jobEntry) bool {
 	key := e.spec.Key
-	if e.resolveErr != "" {
-		env, err := Seal(Outcome{Key: key, Err: e.resolveErr})
-		if err == nil {
-			e.outcome = env
-		}
-		e.state = jobFailed
-		return true
-	}
 	// A completed key from the replayed journal: chaotic outcomes travel in
 	// the journal itself, plain ones are reconstructed from the cache below.
 	if env, ok := c.cfg.State.Outcomes[key]; ok {
@@ -291,14 +452,23 @@ func (c *Coordinator) enqueueLocked(e *jobEntry) {
 }
 
 // LeaseJobs grants up to req.Max pending jobs to the worker; an idle fleet
-// steals a speculative duplicate of the longest-held lease.
+// steals a speculative duplicate of the longest-held lease. A quarantined
+// worker gets nothing but a Retry-After hint; a worker on probation gets at
+// most one probe lease (and may not steal) until it proves itself with a
+// CRC-valid delivery.
 func (c *Coordinator) LeaseJobs(req LeaseRequest) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
-	c.touchWorkerLocked(req.Worker)
+	w := c.touchWorkerLocked(req.Worker)
+	if wait, blocked := c.breakerGateLocked(w); blocked {
+		return LeaseResponse{RetryAfterMS: wait.Milliseconds()}
+	}
 	max := req.Max
 	if max <= 0 {
+		max = 1
+	}
+	if w.brk.phase == breakerHalfOpen {
 		max = 1
 	}
 	var resp LeaseResponse
@@ -309,13 +479,57 @@ func (c *Coordinator) LeaseJobs(req LeaseRequest) LeaseResponse {
 		}
 		resp.Leases = append(resp.Leases, c.grantLocked(e, req.Worker))
 	}
-	if len(resp.Leases) == 0 && c.cfg.stealAfter() > 0 {
+	if len(resp.Leases) == 0 && c.cfg.stealAfter() > 0 && w.brk.phase == breakerClosed {
 		if e := c.stealCandidateLocked(req.Worker); e != nil {
 			c.ctr.steals++
 			resp.Leases = append(resp.Leases, c.grantLocked(e, req.Worker))
 		}
 	}
+	if w.brk.phase == breakerHalfOpen && len(resp.Leases) == 1 {
+		w.brk.probation = resp.Leases[0].ID
+	}
 	return resp
+}
+
+// breakerGateLocked resolves w's breaker phase at lease time: still-serving
+// quarantines block with the remaining wait; a lapsed quarantine moves the
+// worker to probation; a probation with its probe still outstanding blocks
+// until the probe resolves.
+func (c *Coordinator) breakerGateLocked(w *workerState) (time.Duration, bool) {
+	switch w.brk.phase {
+	case breakerOpen:
+		q := c.quarantineSpanLocked(w)
+		if elapsed := c.now().Sub(w.brk.openedAt); elapsed < q {
+			return q - elapsed, true
+		}
+		w.brk.phase = breakerHalfOpen
+		w.brk.probation = 0
+		c.ctr.breakerProbations++
+	case breakerHalfOpen:
+		if w.brk.probation != 0 {
+			return c.cfg.leaseTTL() / 4, true
+		}
+	}
+	return 0, false
+}
+
+// quarantineSpanLocked is how long w's current quarantine lasts: the base
+// span doubled per repeat trip, capped at 8x.
+func (c *Coordinator) quarantineSpanLocked(w *workerState) time.Duration {
+	span := c.cfg.quarantineFor()
+	for i := 1; i < w.brk.trips && i < 4; i++ {
+		span *= 2
+	}
+	return span
+}
+
+// tripBreakerLocked opens w's breaker (from any phase).
+func (c *Coordinator) tripBreakerLocked(w *workerState) {
+	w.brk.trips++
+	w.brk.phase = breakerOpen
+	w.brk.openedAt = c.now()
+	w.brk.probation = 0
+	c.ctr.breakerOpens++
 }
 
 // popQueueLocked pops the next leasable entry, dropping keys that finished
@@ -361,12 +575,7 @@ func (c *Coordinator) grantLocked(e *jobEntry, worker string) Lease {
 	return Lease{ID: l.id, Spec: e.spec, TTLMS: c.cfg.leaseTTL().Milliseconds(), Speculative: l.speculative}
 }
 
-func (e *jobEntry) label() string {
-	if e.resolveErr == "" {
-		return e.job.Label()
-	}
-	return e.spec.Key
-}
+func (e *jobEntry) label() string { return e.job.Label() }
 
 // stealCandidateLocked picks the entry with the oldest lease older than
 // StealAfter that can take another issue and is not already running on this
@@ -429,17 +638,34 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	c.sweepLocked()
 	w := c.touchWorkerLocked(req.Worker)
 	e := c.jobs[req.Key]
-	if e == nil {
-		return CompleteResponse{}
-	}
 	if l := c.leases[req.Lease]; l != nil && l.key == req.Key {
 		c.dropLeaseLocked(l)
 	}
+	// CRC-validate before the entry check: a corrupted body can flip the
+	// outer req.Key too (unknown entry), and that must still count against
+	// the sender's breaker rather than vanish.
 	var o Outcome
 	if err := req.Env.Open(&o); err != nil || o.Key != req.Key {
 		c.ctr.crcRejected++
+		w.brk.consecCRC++
+		if w.brk.phase == breakerHalfOpen ||
+			(w.brk.phase == breakerClosed && w.brk.consecCRC >= c.cfg.breakerCRCLimit()) {
+			c.tripBreakerLocked(w)
+		}
 		c.maybeRequeueLocked(e)
 		return CompleteResponse{}
+	}
+	if e == nil {
+		return CompleteResponse{}
+	}
+	// A CRC-valid delivery (even a duplicate or a failed execution) is proof
+	// the worker's transport and sealing are sound: reset the breaker's
+	// consecutive-fault counts, and graduate a probation back to closed.
+	w.brk.consecCRC, w.brk.consecExpiry = 0, 0
+	if w.brk.phase == breakerHalfOpen {
+		w.brk.phase = breakerClosed
+		w.brk.probation = 0
+		c.ctr.breakerCloses++
 	}
 	if e.state == jobDone || e.state == jobFailed {
 		c.ctr.dupResults++
@@ -464,7 +690,7 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	e.outcome = req.Env
 	e.state = jobDone
 	w.completed++
-	if c.cfg.Cache != nil && !e.spec.Chaotic() && e.resolveErr == "" {
+	if c.cfg.Cache != nil && !e.spec.Chaotic() {
 		c.cfg.Cache.Put(e.job, o.Result)
 	}
 	rec := exp.JournalRecord{T: exp.RecJobDone, Key: req.Key, Label: e.label(), Worker: req.Worker}
@@ -497,6 +723,11 @@ func (c *Coordinator) cancelSiblingsLocked(e *jobEntry) {
 		c.dropLeaseLocked(l)
 		if w := c.workers[l.worker]; w != nil {
 			w.cancel = append(w.cancel, id)
+			if w.brk.phase == breakerHalfOpen && id == w.brk.probation {
+				// Losing the race to a sibling is not the probe's fault;
+				// free the probation slot so the worker can probe again.
+				w.brk.probation = 0
+			}
 		}
 	}
 }
@@ -506,11 +737,16 @@ func (c *Coordinator) Release(req ReleaseRequest) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked()
-	c.touchWorkerLocked(req.Worker)
+	w := c.touchWorkerLocked(req.Worker)
 	for _, id := range req.Leases {
 		l := c.leases[id]
 		if l == nil || l.worker != req.Worker {
 			continue
+		}
+		if w.brk.phase == breakerHalfOpen && id == w.brk.probation {
+			// Returning the probe (drain, or an acknowledged cancel) is not
+			// a failure; free the probation slot for the next lease request.
+			w.brk.probation = 0
 		}
 		c.dropLeaseLocked(l)
 		c.ctr.leasesReturned++
@@ -577,6 +813,18 @@ func (c *Coordinator) sweepLocked() {
 			key, id, worker := l.key, l.id, l.worker
 			c.dropLeaseLocked(l)
 			c.ctr.leasesExpired++
+			// Attribute the expiry to the worker's breaker: a probe lease
+			// that expires fails the probation outright; a closed worker
+			// whose leases keep dying is flapping and gets quarantined.
+			// (Plain map access — an expiry must not refresh lastSeen.)
+			if w := c.workers[worker]; w != nil {
+				w.brk.consecExpiry++
+				if w.brk.phase == breakerHalfOpen && id == w.brk.probation {
+					c.tripBreakerLocked(w)
+				} else if w.brk.phase == breakerClosed && w.brk.consecExpiry >= c.cfg.breakerExpiryLimit() {
+					c.tripBreakerLocked(w)
+				}
+			}
 			e := c.jobs[key]
 			c.journalAppend(exp.JournalRecord{
 				T: exp.RecLeaseReturn, Key: key, Label: e.label(), Worker: worker, Lease: id,
@@ -619,6 +867,8 @@ type Counts struct {
 	Total, Pending, Leased, Done, Failed int
 	ActiveLeases                         int
 	Workers                              int
+	// Quarantined counts workers whose circuit breaker is currently open.
+	Quarantined int
 }
 
 // Counts returns the current census.
@@ -647,6 +897,9 @@ func (c *Coordinator) countsLocked() Counts {
 		if w.lastSeen.After(cutoff) {
 			n.Workers++
 		}
+		if w.brk.phase == breakerOpen {
+			n.Quarantined++
+		}
 	}
 	return n
 }
@@ -655,7 +908,7 @@ func (c *Coordinator) countsLocked() Counts {
 // merged fleet dashboard (/metrics, /progress).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/submit", post(c.Submit))
+	mux.HandleFunc("/v1/submit", c.serveSubmit)
 	mux.HandleFunc("/v1/lease", post(c.LeaseJobs))
 	mux.HandleFunc("/v1/heartbeat", post(c.Heartbeat))
 	mux.HandleFunc("/v1/complete", post(c.Complete))
@@ -674,6 +927,33 @@ func (c *Coordinator) Handler() http.Handler {
 		fmt.Fprintf(w, "%s campaign coordinator: /metrics (Prometheus text), /progress (JSON), /v1/* (fabric API)\n", c.cfg.Name)
 	})
 	return mux
+}
+
+// serveSubmit is /v1/submit: like post(c.Submit), but an admission refusal
+// becomes 429 + Retry-After, with the partial response still in the body so
+// the client knows which jobs landed before the shed.
+func (c *Coordinator) serveSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := c.Submit(req)
+	w.Header().Set("Content-Type", "application/json")
+	var over *OverloadError
+	if errors.As(err, &over) {
+		secs := int((over.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.WriteHeader(http.StatusTooManyRequests)
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 // post adapts a typed request/response method to an HTTP JSON endpoint.
@@ -724,6 +1004,13 @@ func (c *Coordinator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.PromMetric(w, "tls_fleet_crc_rejected", "counter", float64(ctr.crcRejected))
 	obs.PromMetric(w, "tls_fleet_requeues", "counter", float64(ctr.requeues))
 	obs.PromMetric(w, "tls_fleet_journal_errors", "counter", float64(ctr.journalErrors))
+	obs.PromMetric(w, "tls_fleet_workers_quarantined", "gauge", float64(n.Quarantined))
+	obs.PromMetric(w, "tls_fleet_shed_submits", "counter", float64(ctr.shedSubmits))
+	obs.PromMetric(w, "tls_fleet_rate_limited", "counter", float64(ctr.rateLimited))
+	obs.PromMetric(w, "tls_fleet_spec_rejects", "counter", float64(ctr.specRejects))
+	obs.PromMetric(w, "tls_fleet_breaker_opens", "counter", float64(ctr.breakerOpens))
+	obs.PromMetric(w, "tls_fleet_breaker_probations", "counter", float64(ctr.breakerProbations))
+	obs.PromMetric(w, "tls_fleet_breaker_closes", "counter", float64(ctr.breakerCloses))
 
 	// Fleet-aggregated per-run obs counters, sorted for a stable scrape.
 	names := make([]string, 0, len(sums))
@@ -742,6 +1029,9 @@ type progressWorker struct {
 	LastSeenMS   int64  `json:"last_seen_ms"`
 	ActiveLeases int    `json:"active_leases"`
 	Completed    int    `json:"completed"`
+	// Breaker is "open" or "probation" when the worker is quarantined or
+	// probing its way back in; omitted for a healthy (closed) breaker.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // fleetProgress is the /progress JSON document.
@@ -791,12 +1081,16 @@ func (c *Coordinator) serveProgress(w http.ResponseWriter, _ *http.Request) {
 				active++
 			}
 		}
-		view.Workers = append(view.Workers, progressWorker{
+		row := progressWorker{
 			Name:         name,
 			LastSeenMS:   now.Sub(ws.lastSeen).Milliseconds(),
 			ActiveLeases: active,
 			Completed:    ws.completed,
-		})
+		}
+		if ws.brk.phase != breakerClosed {
+			row.Breaker = ws.brk.phase.String()
+		}
+		view.Workers = append(view.Workers, row)
 	}
 	c.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -812,6 +1106,13 @@ func (c *Coordinator) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve serves the fabric API on ln — which may be wrapped, e.g. by a
+// chaosnet.Listener — and runs the lease sweeper until Stop.
+func (c *Coordinator) Serve(ln net.Listener) {
 	c.mu.Lock()
 	c.ln = ln
 	c.srv = &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 5 * time.Second}
@@ -833,7 +1134,6 @@ func (c *Coordinator) Start(addr string) (string, error) {
 			}
 		}
 	}()
-	return ln.Addr().String(), nil
 }
 
 func (c *Coordinator) sweepEvery() time.Duration {

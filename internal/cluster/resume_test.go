@@ -36,7 +36,7 @@ func TestCoordinatorResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	co1 := NewCoordinator(Config{Name: "resume", Cache: cache, Journal: j1})
-	co1.Submit(SubmitRequest{Jobs: specs})
+	co1.Preload(specs)
 	lr := co1.LeaseJobs(LeaseRequest{Worker: "w1", Max: len(specs)})
 	if len(lr.Leases) != len(specs) {
 		t.Fatalf("leased %d of %d", len(lr.Leases), len(specs))
@@ -76,7 +76,7 @@ func TestCoordinatorResume(t *testing.T) {
 	}
 	defer j2.Close()
 	co2 := NewCoordinator(Config{Name: "resume", Cache: cache, Journal: j2, State: st})
-	resp := co2.Submit(SubmitRequest{Jobs: specs})
+	resp := co2.Preload(specs)
 	if resp.Done != len(specs)-1 {
 		t.Fatalf("resumed submit settled %d, want %d", resp.Done, len(specs)-1)
 	}
@@ -114,7 +114,7 @@ func TestWorkerDrainReleasesLease(t *testing.T) {
 		Machine: machine.CMP8(), Scheme: core.MultiTMVLazy,
 		Profile: workload.Tree().Scale(1, 4, 1), Seed: 1,
 	}
-	co.Submit(SubmitRequest{Jobs: []JobSpec{SpecOf(slow)}})
+	co.Preload([]JobSpec{SpecOf(slow)})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	w := NewWorker(WorkerConfig{Name: "w1", Coordinator: "http://" + addr, Poll: 10 * time.Millisecond})

@@ -76,6 +76,9 @@ type Outcome struct {
 // simply submit again.
 type SubmitRequest struct {
 	Jobs []JobSpec `json:"jobs"`
+	// Client names the submitter for fair per-client rate limiting; an empty
+	// name (the coordinator's own grid preload, legacy clients) is exempt.
+	Client string `json:"client,omitempty"`
 }
 
 // SubmitResponse reports how many of the submitted jobs were new and how
@@ -83,6 +86,11 @@ type SubmitRequest struct {
 type SubmitResponse struct {
 	Accepted int `json:"accepted"`
 	Done     int `json:"done"`
+	// Rejected lists keys whose specs did not re-hash to their own key —
+	// version skew between client and coordinator, or a corrupted submit
+	// body. They are not registered; a clean resubmission heals transport
+	// corruption, and a client that keeps seeing its keys here gives up.
+	Rejected []string `json:"rejected,omitempty"`
 }
 
 // LeaseRequest pulls up to Max leased jobs for a named worker. An idle
@@ -105,9 +113,12 @@ type Lease struct {
 	Speculative bool `json:"speculative,omitempty"`
 }
 
-// LeaseResponse carries the granted leases (possibly none).
+// LeaseResponse carries the granted leases (possibly none). RetryAfterMS,
+// when set, tells the worker its lease request was refused by the circuit
+// breaker and how long to back off before asking again.
 type LeaseResponse struct {
-	Leases []Lease `json:"leases"`
+	Leases       []Lease `json:"leases"`
+	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
 }
 
 // HeartbeatRequest extends the named leases and reports the worker's

@@ -5,8 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -43,9 +44,16 @@ type WorkerConfig struct {
 	Metrics *exp.Metrics
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
-	// HTTP overrides the transport (tests); nil uses a client with sane
-	// timeouts.
+	// HTTP overrides the transport (tests, chaos injection); nil builds a
+	// client from RPCTimeout/DialTimeout.
 	HTTP *http.Client
+	// RPCTimeout bounds each coordinator RPC (default 30s); DialTimeout
+	// bounds the connection attempt alone (default 5s), so a partitioned
+	// coordinator fails fast instead of hanging the full RPC timeout.
+	RPCTimeout  time.Duration
+	DialTimeout time.Duration
+	// Seed drives retry-jitter determinism (0 = derived from Name).
+	Seed uint64
 }
 
 func (c WorkerConfig) parallel() int {
@@ -78,7 +86,7 @@ type Worker struct {
 func NewWorker(cfg WorkerConfig) *Worker {
 	hc := cfg.HTTP
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = httpClient(cfg.DialTimeout, cfg.RPCTimeout)
 	}
 	return &Worker{
 		cfg:     cfg,
@@ -86,6 +94,13 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cancels: make(map[uint64]context.CancelFunc),
 		ttl:     30 * time.Second,
 	}
+}
+
+func (w *Worker) seed() uint64 {
+	if w.cfg.Seed != 0 {
+		return w.cfg.Seed
+	}
+	return jitterSeed("worker|" + w.cfg.Name)
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -109,6 +124,10 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	slots := make(chan struct{}, w.cfg.parallel())
 	var wg sync.WaitGroup
+	// Seeded full jitter on pull errors: a herd of workers reconnecting to a
+	// restarted (or partitioned) coordinator spreads out instead of arriving
+	// in lockstep.
+	pullBO := newBackoff(w.seed()^0x9d11, 100*time.Millisecond, 10*time.Second)
 pull:
 	for {
 		select {
@@ -122,14 +141,26 @@ pull:
 		resp, err := w.lease(LeaseRequest{Worker: w.cfg.Name, Max: free})
 		if err != nil || len(resp.Leases) == 0 {
 			<-slots
-			if err != nil {
+			wait := w.cfg.poll()
+			switch {
+			case err != nil:
 				w.logf("worker %s: lease pull: %v", w.cfg.Name, err)
+				wait = pullBO.next()
+			case resp.RetryAfterMS > 0:
+				// Circuit-broken: the coordinator told us exactly how long
+				// the quarantine lasts; jitter on top avoids a synchronized
+				// probation stampede.
+				wait = time.Duration(resp.RetryAfterMS)*time.Millisecond + pullBO.next()
+				w.logf("worker %s: quarantined by coordinator, backing off %v", w.cfg.Name, wait)
+			default:
+				pullBO.reset()
 			}
-			if !sleepCtx(ctx, w.cfg.poll()) {
+			if !sleepCtx(ctx, wait) {
 				break pull
 			}
 			continue
 		}
+		pullBO.reset()
 		for i, l := range resp.Leases {
 			if i > 0 {
 				select {
@@ -173,7 +204,7 @@ func (w *Worker) runLease(ctx context.Context, l Lease) {
 	if err != nil {
 		// The spec does not reconstruct here (version skew): report the
 		// permanent failure rather than silently dropping the lease.
-		w.complete(l, Outcome{Key: l.Spec.Key, Err: err.Error(), Worker: w.cfg.Name})
+		w.complete(ctx, l, Outcome{Key: l.Spec.Key, Err: err.Error(), Worker: w.cfg.Name})
 		return
 	}
 	if w.cfg.Observe {
@@ -224,7 +255,7 @@ func (w *Worker) runLease(ctx context.Context, l Lease) {
 		o.Err = jr.Err.Error()
 		o.TimedOut = jr.TimedOut
 	}
-	w.complete(l, o)
+	w.complete(ctx, l, o)
 }
 
 // foldObs accumulates one finished run's counters into the worker totals.
@@ -303,25 +334,38 @@ func (w *Worker) lease(req LeaseRequest) (LeaseResponse, error) {
 
 // complete delivers an outcome, retrying through coordinator restarts: the
 // result in hand is the product of real simulation time and is not dropped
-// for a transient connection error.
-func (w *Worker) complete(l Lease, o Outcome) {
+// for a transient connection error. Retry sleeps watch ctx so a draining
+// worker does not stall on a dead coordinator; when ctx dies mid-wait, one
+// final immediate attempt still delivers the result on a live network, and
+// otherwise the journal's requeue covers the loss.
+func (w *Worker) complete(ctx context.Context, l Lease, o Outcome) {
 	env, err := Seal(o)
 	if err != nil {
 		w.logf("worker %s: sealing outcome for %.12s: %v", w.cfg.Name, o.Key, err)
 		return
 	}
 	req := CompleteRequest{Worker: w.cfg.Name, Lease: l.ID, Key: o.Key, Env: env}
-	backoff := 100 * time.Millisecond
+	bo := newBackoff(w.seed()^l.ID, 100*time.Millisecond, 2*time.Second)
 	for attempt := 0; attempt < 8; attempt++ {
 		var resp CompleteResponse
-		if err := w.post("/v1/complete", req, &resp); err == nil {
+		err := w.post("/v1/complete", req, &resp)
+		if err == nil {
 			return
-		} else if attempt == 7 {
-			w.logf("worker %s: delivering %.12s failed: %v", w.cfg.Name, o.Key, err)
 		}
-		time.Sleep(backoff)
-		if backoff < 2*time.Second {
-			backoff *= 2
+		if attempt == 7 {
+			w.logf("worker %s: delivering %.12s failed: %v", w.cfg.Name, o.Key, err)
+			return
+		}
+		wait := bo.next()
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			wait += se.RetryAfter
+		}
+		if !sleepCtx(ctx, wait) {
+			if w.post("/v1/complete", req, &resp) != nil {
+				w.logf("worker %s: delivering %.12s abandoned at drain (lease rides out in the journal)", w.cfg.Name, o.Key)
+			}
+			return
 		}
 	}
 }
@@ -336,7 +380,8 @@ func (w *Worker) post(path string, req, resp any) error {
 	return postJSON(w.hc, w.cfg.Coordinator+path, req, resp)
 }
 
-// postJSON is the shared HTTP JSON call used by workers and clients.
+// postJSON is the shared HTTP JSON call used by workers and clients. A
+// non-200 reply becomes a *StatusError carrying any Retry-After hint.
 func postJSON(hc *http.Client, url string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -348,7 +393,12 @@ func postJSON(hc *http.Client, url string, req, resp any) error {
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: %s: %s", url, r.Status)
+		se := &StatusError{URL: url, Code: r.StatusCode}
+		if secs, err := strconv.Atoi(r.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		io.Copy(io.Discard, r.Body)
+		return se
 	}
 	return json.NewDecoder(r.Body).Decode(resp)
 }
