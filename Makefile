@@ -4,7 +4,7 @@ GO ?= go
 # gate against a different one (make bench BENCH=BENCH_4.json).
 BENCH ?= BENCH_3.json
 
-.PHONY: build test fmt vet race chaos cluster cluster-chaos verify report bench bench-baseline trace
+.PHONY: build test fmt vet race race-short chaos cluster cluster-chaos verify report bench bench-baseline trace
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ vet:
 # race exercises the packages the experiment orchestrator made concurrent.
 race:
 	$(GO) test -race ./internal/exp ./internal/report ./internal/sim
+
+# race-short runs the whole module under the race detector in short mode —
+# the CI job that guards the parallel simulation core (sharded queue,
+# prefetch workers, cluster sleep seams) without full-grid runtimes.
+race-short:
+	$(GO) test -race -short ./...
 
 # chaos is the bounded fault-injection campaign (~30s): recoverable faults
 # must be absorbed with zero invariant violations, injected tag corruption
@@ -66,8 +72,11 @@ trace:
 
 # bench runs the tlsbench hot-path suite and gates allocs/op against the
 # checked-in baseline (±30% band); ns/op and events/sec are informational.
+# The log is tee'd to bench-report.txt — it carries the serial-vs-parallel
+# full-run wall times and the "parallel speedup" line CI archives.
 bench:
-	$(GO) run ./cmd/tlsbench -baseline $(BENCH) -compare
+	@$(GO) run ./cmd/tlsbench -baseline $(BENCH) -compare > bench-report.txt 2>&1; \
+	st=$$?; cat bench-report.txt; exit $$st
 
 # bench-baseline refreshes the checked-in baseline after an intentional
 # performance change (run on a quiet machine, then commit $(BENCH)).

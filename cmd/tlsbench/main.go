@@ -67,6 +67,7 @@ var suite = []struct {
 	{"cache/probe-hit", benchCacheProbeHit},
 	{"cache/insert-evict", benchCacheInsertEvict},
 	{"sim/full-run", benchFullRun},
+	{"sim/full-run-parallel", benchFullRunParallel},
 }
 
 func benchEventScheduleFire(b *testing.B) {
@@ -153,6 +154,24 @@ func benchFullRun(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// benchFullRunParallel is benchFullRun on the parallel simulation core with
+// GOMAXPROCS workers. Results are identical to the serial run by
+// construction; the wall-clock ratio against sim/full-run is the parallel
+// speedup on this host (meaningful only on multi-core runners — `make
+// bench` records it as a CI artifact).
+func benchFullRunParallel(b *testing.B) {
+	b.ReportAllocs()
+	prof := repro.Bdna().Scale(0.25, 0.25, 0.25)
+	workers := runtime.GOMAXPROCS(0)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := repro.RunParallel(repro.NUMA16(), repro.MultiTMVLazy, prof, 1, workers)
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 func measure() []Measurement {
 	var out []Measurement
 	for _, bm := range suite {
@@ -179,7 +198,27 @@ func measure() []Measurement {
 		fmt.Println()
 		out = append(out, m)
 	}
+	printParallelSpeedup(out)
 	return out
+}
+
+// printParallelSpeedup reports the serial-vs-parallel full-run wall-clock
+// ratio — the headline number `make bench` records as a CI artifact. Purely
+// informational: host-dependent timings never gate.
+func printParallelSpeedup(ms []Measurement) {
+	var serial, parallel float64
+	for _, m := range ms {
+		switch m.Name {
+		case "sim/full-run":
+			serial = m.NsPerOp
+		case "sim/full-run-parallel":
+			parallel = m.NsPerOp
+		}
+	}
+	if serial > 0 && parallel > 0 {
+		fmt.Printf("parallel speedup: %.2fx (full run, serial %.1f ms vs parallel %.1f ms, GOMAXPROCS=%d)\n",
+			serial/parallel, serial/1e6, parallel/1e6, runtime.GOMAXPROCS(0))
+	}
 }
 
 // compare gates current allocs/op against the baseline. Returns the number

@@ -129,20 +129,27 @@ func main() {
 	switch {
 	case *perfetto != "":
 		out := os.Stdout
+		var f *os.File
 		if *perfetto != "-" {
-			f, err := os.Create(*perfetto)
+			var err error
+			f, err = os.Create(*perfetto)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
 			out = f
 		}
 		if err := report.ExportPerfetto(out, r, s.Sampled()); err != nil {
 			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 			os.Exit(1)
 		}
-		if *perfetto != "-" {
+		if f != nil {
+			// Close is where buffered bytes hit a full disk; an unchecked
+			// close here would announce success over a truncated trace.
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Printf("wrote %s: open it at https://ui.perfetto.dev or chrome://tracing\n", *perfetto)
 		}
 	case *asCSV:

@@ -339,6 +339,16 @@ func New(cfg Config) *Plan {
 // Config returns the plan's configuration.
 func (p *Plan) Config() Config { return p.cfg }
 
+// SetClock replaces the plan's wall clock and re-anchors the partition
+// windows at the new clock's present. Deterministic drills inject a virtual
+// clock here so window activation follows simulated time, not the host's.
+func (p *Plan) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.start = now()
+}
+
 // note records an injection and reports whether the budget allowed it.
 // Callers hold p.mu.
 func (p *Plan) note(k Kind) bool {

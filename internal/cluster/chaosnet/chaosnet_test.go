@@ -17,9 +17,30 @@ import (
 func planAt(cfg Config) (*Plan, *time.Duration) {
 	p := New(cfg)
 	off := new(time.Duration)
-	base := p.start
-	p.now = func() time.Time { return base.Add(*off) }
+	base := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return base.Add(*off) })
 	return p, off
+}
+
+// SetClock re-anchors the partition schedule at the virtual present: windows
+// open on virtual elapsed time, so an hour-long schedule runs in microseconds
+// and wall-clock jitter cannot shift an activation edge.
+func TestSetClockReanchorsWindows(t *testing.T) {
+	p := New(Config{Seed: 1, Partitions: []Partition{{Start: time.Hour, Dur: time.Hour, Mode: Refuse}}})
+	base := time.Unix(5000, 0)
+	off := new(time.Duration)
+	p.SetClock(func() time.Time { return base.Add(*off) })
+	if v := p.Verdict("w"); v.Refuse {
+		t.Fatalf("window opened before its virtual start: %+v", v)
+	}
+	*off = 90 * time.Minute
+	if v := p.Verdict("w"); !v.Refuse {
+		t.Fatalf("window closed inside its virtual span: %+v", v)
+	}
+	*off = 3 * time.Hour
+	if v := p.Verdict("w"); v.Refuse {
+		t.Fatalf("window open past its virtual end: %+v", v)
+	}
 }
 
 func TestVerdictStreamReplays(t *testing.T) {

@@ -44,6 +44,11 @@ type Client struct {
 	DialTimeout time.Duration
 	// Seed drives retry-jitter determinism (0 = derived from Name and URL).
 	Seed uint64
+	// Sleep overrides the context-aware wait used between polls and retry
+	// attempts (nil = real time). Chaos drills and replay harnesses inject a
+	// virtual clock here so backoff schedules stay deterministic under
+	// wall-clock jitter; it must return false when ctx dies first.
+	Sleep func(ctx context.Context, d time.Duration) bool
 
 	hcOnce sync.Once
 	hc     *http.Client
@@ -90,6 +95,13 @@ func (c *Client) seed() uint64 {
 		return c.Seed
 	}
 	return jitterSeed("client|" + c.Name + "|" + c.URL)
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) bool {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -164,7 +176,7 @@ func (c *Client) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult,
 	applyRejections(rejected)
 	hc := c.client()
 	for len(pending) > 0 {
-		if !sleepCtx(ctx, c.poll()) {
+		if !c.sleep(ctx, c.poll()) {
 			return c.abandon(ctx, jobs, out, resolved), ctx.Err()
 		}
 		ask := make([]string, 0, len(pending))
@@ -207,7 +219,7 @@ func (c *Client) RunBatch(ctx context.Context, jobs []exp.Job) ([]exp.JobResult,
 			// A coordinator restart: back off, then re-submit whatever is
 			// still pending (idempotent; a resumed coordinator answers the
 			// finished ones from its journal and cache instantly).
-			if !sleepCtx(ctx, c.poll()) {
+			if !c.sleep(ctx, c.poll()) {
 				return c.abandon(ctx, jobs, out, resolved), ctx.Err()
 			}
 			remaining := make([]JobSpec, 0, len(pending))
@@ -273,7 +285,7 @@ func (c *Client) submit(ctx context.Context, specs []JobSpec) ([]string, error) 
 				wait += se.RetryAfter
 			}
 			c.logf("cluster client: submit: %v (retry in %v)", err, wait)
-			if !sleepCtx(ctx, wait) {
+			if !c.sleep(ctx, wait) {
 				return rejected, ctx.Err()
 			}
 		}

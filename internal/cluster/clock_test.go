@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The client's poll and retry waits must flow through the injected Sleep:
+// with a wall-clock poll interval of an hour, only the injection makes the
+// batch terminate, so a hang here means a raw time-based sleep crept back in.
+func TestClientSleepInjection(t *testing.T) {
+	_, url, stop := startFabric(t, Config{Name: "clk"}, 1, WorkerConfig{})
+	defer stop()
+
+	var waits atomic.Int64
+	client := &Client{
+		URL:  url,
+		Poll: time.Hour,
+		Sleep: func(ctx context.Context, d time.Duration) bool {
+			waits.Add(1)
+			return sleepCtx(ctx, time.Millisecond)
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := client.RunBatch(ctx, testJobs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	if waits.Load() == 0 {
+		t.Fatal("result polling never went through the injected sleep")
+	}
+}
+
+// The worker's idle pull wait and heartbeat timer must flow through the
+// injected Sleep too; the injection also drives the shutdown, so a worker
+// that bypasses it either hangs (hour-long poll) or never exits.
+func TestWorkerSleepInjection(t *testing.T) {
+	co := NewCoordinator(Config{Name: "clk-w"})
+	addr, err := co.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var idleWaits atomic.Int64
+	var calls atomic.Int64
+	w := NewWorker(WorkerConfig{
+		Name:        "sleepy",
+		Coordinator: "http://" + addr,
+		Poll:        time.Hour,
+		Sleep: func(ctx context.Context, d time.Duration) bool {
+			if d == time.Hour {
+				idleWaits.Add(1)
+			}
+			if calls.Add(1) >= 5 {
+				cancel()
+			}
+			return ctx.Err() == nil
+		},
+	})
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not exit through the injected sleep")
+	}
+	if idleWaits.Load() == 0 {
+		t.Fatal("idle pull waits never went through the injected sleep")
+	}
+}

@@ -54,6 +54,12 @@ type WorkerConfig struct {
 	DialTimeout time.Duration
 	// Seed drives retry-jitter determinism (0 = derived from Name).
 	Seed uint64
+	// Sleep overrides the context-aware wait used by the pull loop, the
+	// heartbeat timer and outcome-delivery retries (nil = real time). Chaos
+	// drills and replay harnesses inject a virtual clock here so retry and
+	// breaker schedules stay deterministic under wall-clock jitter; it must
+	// return false when ctx dies first.
+	Sleep func(ctx context.Context, d time.Duration) bool
 }
 
 func (c WorkerConfig) parallel() int {
@@ -101,6 +107,13 @@ func (w *Worker) seed() uint64 {
 		return w.cfg.Seed
 	}
 	return jitterSeed("worker|" + w.cfg.Name)
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if w.cfg.Sleep != nil {
+		return w.cfg.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -155,7 +168,7 @@ pull:
 			default:
 				pullBO.reset()
 			}
-			if !sleepCtx(ctx, wait) {
+			if !w.sleep(ctx, wait) {
 				break pull
 			}
 			continue
@@ -287,7 +300,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if every > 5*time.Second {
 			every = 5 * time.Second
 		}
-		if !sleepCtx(ctx, every) {
+		if !w.sleep(ctx, every) {
 			return
 		}
 		w.heartbeat()
@@ -361,7 +374,7 @@ func (w *Worker) complete(ctx context.Context, l Lease, o Outcome) {
 		if errors.As(err, &se) && se.RetryAfter > 0 {
 			wait += se.RetryAfter
 		}
-		if !sleepCtx(ctx, wait) {
+		if !w.sleep(ctx, wait) {
 			if w.post("/v1/complete", req, &resp) != nil {
 				w.logf("worker %s: delivering %.12s abandoned at drain (lease rides out in the journal)", w.cfg.Name, o.Key)
 			}

@@ -1,0 +1,335 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardedMatchesSerialOrder drives a serial Queue and a ShardedQueue
+// with the same randomized schedule — including events scheduled from
+// inside callbacks and cancellations — and requires the identical firing
+// sequence. This is the bit-identity contract the parallel simulator
+// leans on.
+func TestShardedMatchesSerialOrder(t *testing.T) {
+	const domains = 4
+	for trial := 0; trial < 20; trial++ {
+		rngA := rand.New(rand.NewSource(int64(1000 + trial)))
+		rngB := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		serial := runSerialSchedule(rngA)
+		sharded := runShardedSchedule(rngB, domains)
+
+		if len(serial) != len(sharded) {
+			t.Fatalf("trial %d: serial fired %d events, sharded fired %d", trial, len(serial), len(sharded))
+		}
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("trial %d: firing %d differs: serial %+v sharded %+v", trial, i, serial[i], sharded[i])
+			}
+		}
+	}
+}
+
+// firing records one observed callback: the virtual time it ran at and the
+// schedule-order identity of the event.
+type firing struct {
+	at Time
+	id int
+}
+
+// scheduleScript returns the deterministic pseudo-random script both queues
+// replay: a list of (delay, cancelEarlier) records. Events re-schedule
+// children from inside their callbacks so the schedule exercises
+// mid-firing insertion, and every few events an earlier pending handle is
+// canceled.
+func runSerialSchedule(rng *rand.Rand) []firing {
+	var q Queue
+	var got []firing
+	var handles []Handle
+	id := 0
+	var spawn func(depth int) func(Time)
+	spawn = func(depth int) func(Time) {
+		myID := id
+		id++
+		return func(now Time) {
+			got = append(got, firing{at: now, id: myID})
+			if depth < 2 {
+				kids := rng.Intn(3)
+				for k := 0; k < kids; k++ {
+					h := q.After(Time(rng.Intn(5)), spawn(depth+1))
+					handles = append(handles, h)
+				}
+			}
+			if len(handles) > 0 && rng.Intn(4) == 0 {
+				q.Cancel(handles[rng.Intn(len(handles))])
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		handles = append(handles, q.At(Time(rng.Intn(20)), spawn(0)))
+	}
+	q.Run(0)
+	return got
+}
+
+// runShardedSchedule replays the same script against a ShardedQueue,
+// spraying events across domains with the same rng stream. The domain
+// choice consumes rng in lockstep with nothing on the serial side — so it
+// is derived from the event id instead, keeping the two rng streams
+// aligned while still scattering same-cycle events across lanes.
+func runShardedSchedule(rng *rand.Rand, domains int) []firing {
+	q := NewSharded(domains)
+	var got []firing
+	var handles []Handle
+	id := 0
+	var spawn func(depth int) func(Time)
+	spawn = func(depth int) func(Time) {
+		myID := id
+		id++
+		return func(now Time) {
+			got = append(got, firing{at: now, id: myID})
+			if depth < 2 {
+				kids := rng.Intn(3)
+				for k := 0; k < kids; k++ {
+					h := q.After(id%domains, Time(rng.Intn(5)), spawn(depth+1))
+					handles = append(handles, h)
+				}
+			}
+			if len(handles) > 0 && rng.Intn(4) == 0 {
+				q.Cancel(handles[rng.Intn(len(handles))])
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		handles = append(handles, q.At(id%domains, Time(rng.Intn(20)), spawn(0)))
+	}
+	q.Run(0)
+	return got
+}
+
+// TestShardedAdversarialSameCycle schedules a burst of events all at the
+// SAME cycle, interleaved across lanes in an order chosen to make any
+// per-lane or per-domain pop order produce the wrong sequence. The merge
+// must fire them in global insertion (seq) order.
+func TestShardedAdversarialSameCycle(t *testing.T) {
+	const domains = 8
+	q := NewSharded(domains)
+	var got []int
+	// Insertion order deliberately walks the domains backwards and
+	// revisits them, so domain-major order, reverse order, and
+	// round-robin order all differ from seq order.
+	order := []int{7, 3, 7, 0, 5, 3, 1, 0, 7, 2, 6, 4, 2, 0, 1, 5}
+	for i, d := range order {
+		i := i
+		q.At(d, 100, func(Time) { got = append(got, i) })
+	}
+	// A later-seq event at an EARLIER time must still fire first.
+	first := false
+	q.At(6, 50, func(Time) { first = true })
+	q.Run(0)
+	if !first {
+		t.Fatal("earlier-time event did not fire")
+	}
+	if len(got) != len(order) {
+		t.Fatalf("fired %d of %d same-cycle events", len(got), len(order))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle merge order broken: position %d fired event %d (want seq order)", i, v)
+		}
+	}
+	if q.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", q.Now())
+	}
+	if q.Fired() != uint64(len(order)+1) {
+		t.Fatalf("Fired = %d, want %d", q.Fired(), len(order)+1)
+	}
+}
+
+// TestShardedCancelAndCompact verifies cancel semantics (stale handles,
+// live accounting) and that a cancel-heavy lane compacts.
+func TestShardedCancelAndCompact(t *testing.T) {
+	q := NewSharded(2)
+	var fired int
+	keep := q.At(0, 10, func(Time) { fired++ })
+	var doomed []Handle
+	for i := 0; i < 2*compactMinHeap; i++ {
+		doomed = append(doomed, q.At(1, Time(20+i), func(Time) { t.Error("canceled event fired") }))
+	}
+	if q.Len() != 2*compactMinHeap+1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for _, h := range doomed {
+		q.Cancel(h)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after cancels = %d, want 1", q.Len())
+	}
+	if q.Compactions() == 0 {
+		t.Fatal("cancel-heavy lane never compacted")
+	}
+	// Canceling again, and canceling a zero handle, are no-ops.
+	q.Cancel(doomed[0])
+	q.Cancel(Handle{})
+	if keep.Pending() != true {
+		t.Fatal("surviving handle not pending")
+	}
+	q.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if keep.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+	// A stale cancel after firing must not corrupt the recycled pool.
+	q.Cancel(keep)
+	ok := false
+	q.At(0, q.Now()+1, func(Time) { ok = true })
+	q.Run(0)
+	if !ok {
+		t.Fatal("event scheduled after stale cancel did not fire")
+	}
+}
+
+// TestShardedFrontierAndWindow checks the safe-horizon primitives: Frontier
+// per lane, MinFrontier globally, and RunWindow's strict upper bound —
+// including events scheduled during the window that land inside it.
+func TestShardedFrontierAndWindow(t *testing.T) {
+	q := NewSharded(3)
+	var got []int
+	q.At(0, 10, func(Time) {
+		got = append(got, 0)
+		// Scheduled mid-window, lands inside the window: must fire too.
+		q.At(2, 12, func(Time) { got = append(got, 1) })
+	})
+	q.At(1, 30, func(Time) { got = append(got, 2) })
+
+	if tm, ok := q.Frontier(0); !ok || tm != 10 {
+		t.Fatalf("Frontier(0) = %d,%v", tm, ok)
+	}
+	if _, ok := q.Frontier(2); ok {
+		t.Fatal("empty lane reported a frontier")
+	}
+	if tm, ok := q.MinFrontier(); !ok || tm != 10 {
+		t.Fatalf("MinFrontier = %d,%v", tm, ok)
+	}
+
+	n := q.RunWindow(20, 0)
+	if n != 2 {
+		t.Fatalf("RunWindow fired %d, want 2", n)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("window fired %v", got)
+	}
+	// The event at exactly the horizon must NOT fire (strict bound).
+	if n := q.RunWindow(30, 0); n != 0 {
+		t.Fatalf("RunWindow(30) fired %d events at the horizon", n)
+	}
+	if tm, ok := q.MinFrontier(); !ok || tm != 30 {
+		t.Fatalf("MinFrontier after window = %d,%v", tm, ok)
+	}
+	if n := q.RunWindow(31, 0); n != 1 {
+		t.Fatalf("RunWindow(31) fired %d, want 1", n)
+	}
+	if _, ok := q.MinFrontier(); ok {
+		t.Fatal("drained queue reported a frontier")
+	}
+	// RunWindow with a limit stops at the limit.
+	for i := 0; i < 5; i++ {
+		q.At(i%3, q.Now()+1, func(Time) {})
+	}
+	if n := q.RunWindow(Never, 3); n != 3 {
+		t.Fatalf("limited RunWindow fired %d, want 3", n)
+	}
+	q.Run(0)
+}
+
+// TestShardedRestoreRoundTrip drains a sharded queue via Halt, restores its
+// clock and re-inserts the surviving occurrences with their original seqs,
+// and checks the replay fires in the original order. This is the checkpoint
+// restore path.
+func TestShardedRestoreRoundTrip(t *testing.T) {
+	q := NewSharded(2)
+	var first []firing
+	h0 := q.At(0, 5, func(now Time) { first = append(first, firing{now, 0}) })
+	h1 := q.At(1, 5, func(now Time) { first = append(first, firing{now, 1}) })
+	h2 := q.At(0, 9, func(now Time) { first = append(first, firing{now, 2}) })
+	_ = h2
+
+	// Record the pending set, then halt (checkpoint-style).
+	type pend struct {
+		domain int
+		when   Time
+		seq    uint64
+		id     int
+	}
+	pending := []pend{
+		{0, h0.When(), h0.Seq(), 0},
+		{1, h1.When(), h1.Seq(), 1},
+		{0, h2.When(), h2.Seq(), 2},
+	}
+	now, nextSq, fired, comp := q.Now(), q.NextSeq(), q.Fired(), q.Compactions()
+	q.Halt()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Halt = %d", q.Len())
+	}
+	if n := q.Run(0); n != 0 {
+		t.Fatal("halted queue fired events")
+	}
+
+	// Restore into a fresh sharded queue.
+	r := NewSharded(2)
+	r.RestoreClock(now, nextSq, fired, comp)
+	if r.Now() != now || r.NextSeq() != nextSq || r.Fired() != fired {
+		t.Fatal("RestoreClock did not restore counters")
+	}
+	var replay []firing
+	for _, p := range pending {
+		p := p
+		r.ScheduleAt(p.domain, p.when, p.seq, func(nw Time) { replay = append(replay, firing{nw, p.id}) })
+	}
+	r.Run(0)
+	want := []firing{{5, 0}, {5, 1}, {9, 2}}
+	if len(replay) != len(want) {
+		t.Fatalf("replay fired %d events", len(replay))
+	}
+	for i := range want {
+		if replay[i] != want[i] {
+			t.Fatalf("replay[%d] = %+v, want %+v", i, replay[i], want[i])
+		}
+	}
+	// New scheduling after restore continues the seq space.
+	if r.NextSeq() != nextSq {
+		t.Fatalf("ScheduleAt advanced nextSq to %d", r.NextSeq())
+	}
+
+	// Restore validity rules.
+	mustPanic(t, "ScheduleAt seq>=nextSq", func() {
+		r.ScheduleAt(0, r.Now()+1, r.NextSeq(), func(Time) {})
+	})
+	mustPanic(t, "RestoreClock non-empty", func() {
+		s := NewSharded(1)
+		s.At(0, 1, func(Time) {})
+		s.RestoreClock(0, 5, 0, 0)
+	})
+}
+
+// TestShardedAtValidity checks the scheduling panics match the serial queue.
+func TestShardedAtValidity(t *testing.T) {
+	q := NewSharded(1)
+	q.At(0, 4, func(Time) {})
+	q.Run(0)
+	mustPanic(t, "At in the past", func() { q.At(0, 3, func(Time) {}) })
+	mustPanic(t, "At Never", func() { q.At(0, Never, func(Time) {}) })
+	mustPanic(t, "NewSharded(0)", func() { NewSharded(0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

@@ -77,6 +77,7 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	now  func() time.Time // clock behind the Wall stamp (tests, replay drills)
 }
 
 // OpenJournal opens (creating if necessary) the journal at path for
@@ -106,7 +107,7 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{f: f, path: path}, nil
+	return &Journal{f: f, path: path, now: time.Now}, nil
 }
 
 // completePrefixLen returns the byte length of f's longest prefix of
@@ -125,19 +126,29 @@ func completePrefixLen(f *os.File) (int64, error) {
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
+// SetClock replaces the clock behind the Wall stamp. Wall is operational
+// context only — replay never reads it — but deterministic drills that
+// byte-compare journals across runs inject a fixed clock here so the stamp
+// stops being the one nondeterministic field on the line.
+func (j *Journal) SetClock(now func() time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.now = now
+}
+
 // Append durably writes one record: marshal, write the line, fsync. The
 // record is on disk when Append returns.
 func (j *Journal) Append(rec JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if rec.Wall == "" {
-		rec.Wall = time.Now().UTC().Format(time.RFC3339)
+		rec.Wall = j.now().UTC().Format(time.RFC3339)
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	if _, err := j.f.Write(data); err != nil {
 		return err
 	}

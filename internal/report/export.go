@@ -73,37 +73,43 @@ func ExportGridCSV(w io.Writer, g *Grid) error {
 // execution times (rows: applications; columns: schemes), the format
 // EXPERIMENTS.md uses.
 func ExportGridMarkdown(w io.Writer, g *Grid) error {
-	if _, err := fmt.Fprintf(w, "| App |"); err != nil {
-		return err
+	// A sticky first error keeps the table-building logic linear; once a
+	// write fails (full disk, closed pipe) the rest are skipped and the
+	// failure propagates instead of emitting a silently truncated table.
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
 	}
+	p("| App |")
 	for _, sch := range g.Schemes {
-		fmt.Fprintf(w, " %s |", sch.ShortName()+" "+sch.Sep.String())
+		p(" %s |", sch.ShortName()+" "+sch.Sep.String())
 	}
-	fmt.Fprintln(w)
-	fmt.Fprint(w, "|---|")
+	p("\n|---|")
 	for range g.Schemes {
-		fmt.Fprint(w, "---|")
+		p("---|")
 	}
-	fmt.Fprintln(w)
+	p("\n")
 	for _, app := range g.Apps {
 		base := g.Cell(app, g.Schemes[0]).Result.ExecCycles
-		fmt.Fprintf(w, "| %s |", app)
+		p("| %s |", app)
 		for _, sch := range g.Schemes {
-			fmt.Fprintf(w, " %.2f |", g.Cell(app, sch).Normalized(base))
+			p(" %.2f |", g.Cell(app, sch).Normalized(base))
 		}
-		fmt.Fprintln(w)
+		p("\n")
 	}
 	// Average row.
-	fmt.Fprint(w, "| **Avg** |")
+	p("| **Avg** |")
 	for _, sch := range g.Schemes {
 		sum := 0.0
 		for _, app := range g.Apps {
 			base := g.Cell(app, g.Schemes[0]).Result.ExecCycles
 			sum += g.Cell(app, sch).Normalized(base)
 		}
-		fmt.Fprintf(w, " **%.2f** |", sum/float64(len(g.Apps)))
+		p(" **%.2f** |", sum/float64(len(g.Apps)))
 	}
-	_, err := fmt.Fprintln(w)
+	p("\n")
 	return err
 }
 

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -182,4 +183,32 @@ func TestRenderScalabilitySVG(t *testing.T) {
 	if !strings.Contains(out, "16 procs") || !strings.Contains(out, "MultiT&amp;MV Lazy") {
 		t.Fatal("scalability SVG incomplete")
 	}
+}
+
+// A write failure anywhere in the markdown table must surface as the
+// export's error, not a silently truncated artifact.
+func TestExportGridMarkdownPropagatesWriteErrors(t *testing.T) {
+	g := exportGrid(t)
+	var full bytes.Buffer
+	if err := ExportGridMarkdown(&full, g); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit += 7 {
+		if err := ExportGridMarkdown(&cappedWriter{limit: limit}, g); err == nil {
+			t.Fatalf("write failure at byte %d swallowed", limit)
+		}
+	}
+}
+
+// cappedWriter fails every write that would run past its byte limit.
+type cappedWriter struct {
+	n, limit int
+}
+
+func (w *cappedWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errors.New("disk full")
+	}
+	w.n += len(p)
+	return len(p), nil
 }

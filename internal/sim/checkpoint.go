@@ -223,7 +223,7 @@ func (s *Simulator) afterCommit() {
 			s.ckptSink(s.snapshot())
 		}
 		s.halted = true
-		s.q.Halt()
+		s.qHalt()
 		return
 	}
 	if s.ckptSink != nil && s.ckptEvery > 0 && s.commits%s.ckptEvery == 0 {
@@ -241,11 +241,11 @@ func (s *Simulator) snapshot() *Checkpoint {
 		Total:   s.total,
 
 		Queue: QueueCheckpoint{
-			Now:    s.q.Now(),
-			NextSq: s.q.NextSeq(),
-			Fired:  s.q.Fired(),
+			Now:    s.qNow(),
+			NextSq: s.qNextSeq(),
+			Fired:  s.qFired(),
 
-			Compactions: s.q.Compactions(),
+			Compactions: s.qCompactions(),
 		},
 
 		TaskProc: append([]ids.ProcID(nil), s.taskProc...),
@@ -408,7 +408,7 @@ func (s *Simulator) Restore(ck *Checkpoint) error {
 		}
 	}
 
-	s.q.RestoreClock(ck.Queue.Now, ck.Queue.NextSq, ck.Queue.Fired, ck.Queue.Compactions)
+	s.qRestoreClock(ck.Queue.Now, ck.Queue.NextSq, ck.Queue.Fired, ck.Queue.Compactions)
 
 	s.lineGranularity = ck.LineGranularity
 	s.orbCommit = ck.ORBCommit
@@ -509,7 +509,7 @@ func (s *Simulator) Restore(ck *Checkpoint) error {
 		p.blockedUntil = pc.BlockedUntil
 		if pc.Scheduled {
 			p.scheduled = true
-			p.contHandle = s.q.ScheduleAt(pc.ContWhen, pc.ContSeq, p.cont)
+			p.contHandle = s.qScheduleAt(p.id, pc.ContWhen, pc.ContSeq, p.cont)
 		}
 		// Re-generate the running task's operation stream: Workload.Task is
 		// deterministic, so the regenerated ops equal the checkpointed run's.
@@ -528,7 +528,7 @@ func (s *Simulator) Restore(ck *Checkpoint) error {
 		if s.commitDone == nil {
 			s.commitDone = func(done event.Time) { s.finishCommit(s.committing, done) }
 		}
-		s.commitHandle = s.q.ScheduleAt(ck.CommitWhen, ck.CommitSeq, s.commitDone)
+		s.commitHandle = s.qScheduleAt(t.proc, ck.CommitWhen, ck.CommitSeq, s.commitDone)
 	}
 
 	s.inv = nil
@@ -580,9 +580,9 @@ func (s *Simulator) ProgressReport() ProgressReport {
 		Machine:    s.cfg.Name,
 		Scheme:     s.scheme.String(),
 		App:        s.gen.Name(),
-		Cycle:      uint64(s.q.Now()),
-		QueueDepth: s.q.Len(),
-		Events:     s.q.Fired(),
+		Cycle:      uint64(s.qNow()),
+		QueueDepth: s.qLen(),
+		Events:     s.qFired(),
 		Commits:    s.commits,
 		Tasks:      s.total,
 		LiveSpec:   s.liveSpec,

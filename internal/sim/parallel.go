@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/ids"
+	"repro/internal/workload"
+)
+
+// Parallel simulation mode (DESIGN.md §15).
+//
+// The pending event set is sharded into per-node lanes (event.ShardedQueue,
+// one lane per simulated processor: continuations live on their processor's
+// lane, the commit-done event on the committing task's lane) and the run
+// advances in conservative synchronization windows whose width is the
+// machine's interconnect lookahead — the minimum latency of any cross-node
+// interaction. Within a window, events are applied in the same canonical
+// (cycle, seq) order as the serial loop: the model's zero-lookahead
+// couplings (a squash rolls back every successor processor at the same
+// cycle; directory words, bank occupancies and the dispatch cursor are
+// shared) make concurrent event-callback execution impossible to keep
+// bit-identical, so determinism is preserved by construction and the
+// parallelism is extracted from the run's dominant pure computation
+// instead: workload stream generation (~a third of a full run's CPU), which
+// the prefetcher below pipelines onto N worker goroutines ahead of the
+// dispatch cursor. Results are reflect.DeepEqual-identical to the serial
+// loop for every workload, scheme, and fault plan.
+
+// ConcurrentWorkload is implemented by workloads whose Task method is safe
+// to call from multiple goroutines at once. Both workload.Generator and
+// workload.Trace qualify; the prefetcher stays off for workloads that
+// don't, and parallel mode then degrades to the sharded-merge loop alone.
+type ConcurrentWorkload interface {
+	ConcurrentTaskSafe() bool
+}
+
+// SetParallel selects the parallel simulation mode with n worker
+// goroutines. n <= 1 selects the serial loop (the default). It must be
+// called before Run and before Restore: the mode decides which queue the
+// restored events land in.
+func (s *Simulator) SetParallel(n int) {
+	if s.started {
+		panic("sim: SetParallel after Run or Restore")
+	}
+	if n <= 1 {
+		s.sq = nil
+		s.pf = nil
+		s.parN = 0
+		return
+	}
+	s.parN = n
+	s.sq = event.NewSharded(s.cfg.Procs)
+	s.window = s.net.Lookahead()
+	if s.window < 1 {
+		s.window = 1
+	}
+	if cw, ok := s.gen.(ConcurrentWorkload); ok && cw.ConcurrentTaskSafe() {
+		s.pf = newPrefetcher(s.gen, n, s.total)
+	}
+}
+
+// Parallel returns the worker count selected by SetParallel (0 = serial).
+func (s *Simulator) Parallel() int { return s.parN }
+
+// runParallel is the parallel-mode counterpart of the serial
+// s.q.Run(eventLimit): it advances the sharded queue window by window. Each
+// iteration reads the global safe floor (the earliest pending event on any
+// lane), points the prefetcher at the dispatch cursor so streams for
+// soon-to-start tasks are being generated while this window's events apply,
+// and fires everything within one lookahead of the floor. Like the serial
+// loop it drains the queue completely — post-completion no-op continuations
+// count in Result.Events in both modes.
+func (s *Simulator) runParallel() uint64 {
+	if s.pf != nil {
+		defer s.pf.close()
+	}
+	var fired uint64
+	for fired < eventLimit {
+		head, ok := s.sq.MinFrontier()
+		if !ok {
+			break
+		}
+		if s.pf != nil && !s.done {
+			s.pf.aim(s.next)
+		}
+		fired += s.sq.RunWindow(head+s.window, eventLimit-fired)
+	}
+	return fired
+}
+
+// The q* helpers below are the queue facade: every scheduling and
+// bookkeeping touch of the event queue goes through them, branching on the
+// mode. The domain argument is the processor whose lane owns the event;
+// the serial queue ignores it.
+
+func (s *Simulator) qAt(domain ids.ProcID, at event.Time, fn func(event.Time)) event.Handle {
+	if s.sq != nil {
+		return s.sq.At(int(domain), at, fn)
+	}
+	return s.q.At(at, fn)
+}
+
+func (s *Simulator) qScheduleAt(domain ids.ProcID, when event.Time, seq uint64, fn func(event.Time)) event.Handle {
+	if s.sq != nil {
+		return s.sq.ScheduleAt(int(domain), when, seq, fn)
+	}
+	return s.q.ScheduleAt(when, seq, fn)
+}
+
+func (s *Simulator) qNow() event.Time {
+	if s.sq != nil {
+		return s.sq.Now()
+	}
+	return s.q.Now()
+}
+
+func (s *Simulator) qLen() int {
+	if s.sq != nil {
+		return s.sq.Len()
+	}
+	return s.q.Len()
+}
+
+func (s *Simulator) qFired() uint64 {
+	if s.sq != nil {
+		return s.sq.Fired()
+	}
+	return s.q.Fired()
+}
+
+func (s *Simulator) qNextSeq() uint64 {
+	if s.sq != nil {
+		return s.sq.NextSeq()
+	}
+	return s.q.NextSeq()
+}
+
+func (s *Simulator) qCompactions() uint64 {
+	if s.sq != nil {
+		return s.sq.Compactions()
+	}
+	return s.q.Compactions()
+}
+
+func (s *Simulator) qHalt() {
+	if s.sq != nil {
+		s.sq.Halt()
+		return
+	}
+	s.q.Halt()
+}
+
+func (s *Simulator) qRestoreClock(now event.Time, nextSq, fired, compactions uint64) {
+	if s.sq != nil {
+		s.sq.RestoreClock(now, nextSq, fired, compactions)
+		return
+	}
+	s.q.RestoreClock(now, nextSq, fired, compactions)
+}
+
+// prefetcher pregenerates workload operation streams on worker goroutines.
+// Task streams are pure functions of the task index (ConcurrentWorkload),
+// so the workers race with nothing: they compute into entries they own,
+// and the simulation goroutine picks a stream up at dispatch — waiting on
+// the entry if the worker hasn't finished, or computing inline on a miss.
+// The prefetcher can only change WHERE a stream is computed, never what it
+// contains, so parallel results stay identical to serial.
+type prefetcher struct {
+	gen   Workload
+	total int
+	depth int
+
+	mu      sync.Mutex
+	entries map[int]*pfEntry // in-flight and ready streams, by task index
+	closed  bool
+
+	work chan pfItem
+	wg   sync.WaitGroup
+}
+
+// pfEntry is one pregenerated stream. done is closed by the worker after
+// ops is filled; the happens-before edge of the close publishes ops.
+type pfEntry struct {
+	done chan struct{}
+	ops  []workload.Op
+}
+
+// pfItem pairs a task index with the entry the worker must fill. The entry
+// travels in the channel (rather than being looked up by the worker) so a
+// take that races with the hand-off can never orphan a waiter.
+type pfItem struct {
+	idx int
+	e   *pfEntry
+}
+
+func newPrefetcher(gen Workload, workers, total int) *prefetcher {
+	depth := 4 * workers
+	pf := &prefetcher{
+		gen:     gen,
+		total:   total,
+		depth:   depth,
+		entries: make(map[int]*pfEntry, depth),
+		work:    make(chan pfItem, depth),
+	}
+	pf.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go pf.worker()
+	}
+	return pf
+}
+
+func (pf *prefetcher) worker() {
+	defer pf.wg.Done()
+	for it := range pf.work {
+		it.e.ops, _ = pf.gen.Task(it.idx, nil)
+		close(it.e.done)
+	}
+}
+
+// aim requests the streams of the next tasks the dispatcher will hand out:
+// indices [next, next+depth). Everything at or past next is undispatched,
+// so an index is either already in flight or needs a fresh request; a full
+// work channel just stops the top-up (take computes misses inline).
+func (pf *prefetcher) aim(next int) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return
+	}
+	for idx := next; idx < next+pf.depth && idx < pf.total; idx++ {
+		if _, ok := pf.entries[idx]; ok {
+			continue
+		}
+		if !pf.enqueueLocked(idx) {
+			break
+		}
+	}
+}
+
+// redo requests a fresh stream for a squashed task, which will re-dispatch
+// from the redo queue after recovery — typically at least one squash
+// latency away, enough for a worker to have the stream ready. Best effort:
+// if the work channel is full the re-dispatch computes inline.
+func (pf *prefetcher) redo(idx int) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.closed {
+		return
+	}
+	if _, ok := pf.entries[idx]; ok {
+		return
+	}
+	pf.enqueueLocked(idx)
+}
+
+// enqueueLocked hands index idx to a worker, non-blocking. It reports
+// whether the hand-off happened; on false nothing was recorded.
+func (pf *prefetcher) enqueueLocked(idx int) bool {
+	e := &pfEntry{done: make(chan struct{})}
+	select {
+	case pf.work <- pfItem{idx: idx, e: e}:
+		pf.entries[idx] = e
+		return true
+	default:
+		return false
+	}
+}
+
+// take returns task idx's operation stream, waiting for the worker if the
+// pregeneration is still in flight and computing inline when the index was
+// never requested. Called only from the simulation goroutine.
+func (pf *prefetcher) take(idx int) []workload.Op {
+	pf.mu.Lock()
+	e := pf.entries[idx]
+	if e != nil {
+		delete(pf.entries, idx)
+	}
+	pf.mu.Unlock()
+	if e == nil {
+		ops, _ := pf.gen.Task(idx, nil)
+		return ops
+	}
+	<-e.done
+	return e.ops
+}
+
+// close stops the workers and waits for them. Entries still in the channel
+// are drained without effect; nothing waits on them afterwards.
+func (pf *prefetcher) close() {
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		return
+	}
+	pf.closed = true
+	pf.mu.Unlock()
+	close(pf.work)
+	pf.wg.Wait()
+}

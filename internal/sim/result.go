@@ -101,7 +101,7 @@ func (s *Simulator) collect() Result {
 		App:        s.gen.Name(),
 		Scheme:     s.scheme,
 		ExecCycles: s.endTime,
-		Events:     s.q.Fired(),
+		Events:     s.qFired(),
 
 		Tasks:         s.total,
 		Commits:       s.commits,

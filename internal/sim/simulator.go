@@ -56,7 +56,17 @@ type Simulator struct {
 	scheme core.Scheme
 	gen    Workload
 
-	q     event.Queue
+	q event.Queue
+
+	// Parallel mode (see parallel.go): when sq is non-nil the run uses the
+	// per-node sharded queue and the conservative-window loop instead of q;
+	// pf pregenerates workload streams on parN worker goroutines; window is
+	// the synchronization horizon (the interconnect lookahead).
+	sq     *event.ShardedQueue
+	pf     *prefetcher
+	window event.Time
+	parN   int
+
 	dir   *coherence.Directory
 	mem   *memsys.Memory
 	net   *interconnect.Network
@@ -185,7 +195,7 @@ func (s *Simulator) schedule(p *processor, at event.Time) {
 		return
 	}
 	p.scheduled = true
-	p.contHandle = s.q.At(at, p.cont)
+	p.contHandle = s.qAt(p.id, at, p.cont)
 }
 
 // Run executes the section to completion and returns the results. On a
@@ -202,7 +212,12 @@ func (s *Simulator) Run() Result {
 	}
 	// Run(limit) with limit > 0 is a budget: a return value equal to the
 	// limit means the budget was exhausted, not that the queue drained.
-	fired := s.q.Run(eventLimit)
+	var fired uint64
+	if s.sq != nil {
+		fired = s.runParallel()
+	} else {
+		fired = s.q.Run(eventLimit)
+	}
 	if s.halted {
 		return Result{}
 	}
@@ -212,7 +227,7 @@ func (s *Simulator) Run() Result {
 			reason = "hit the event limit (livelock?)"
 		}
 		panic(fmt.Sprintf("sim: %s/%v/%s %s: %d tasks committed of %d, %d events fired",
-			s.cfg.Name, s.scheme, s.gen.Name(), reason, s.commits, s.total, s.q.Fired()))
+			s.cfg.Name, s.scheme, s.gen.Name(), reason, s.commits, s.total, s.qFired()))
 	}
 	return s.collect()
 }
@@ -333,8 +348,15 @@ func (s *Simulator) nextTask(p *processor) bool {
 // it, charging the dynamic scheduling overhead.
 func (s *Simulator) startTask(p *processor, t *task, redo bool) {
 	t.reset()
-	t.ops, _ = s.gen.Task(t.index, p.opBuf)
-	p.opBuf = t.ops[:0]
+	if s.pf != nil {
+		// Parallel mode: the stream was pregenerated by a prefetch worker (or
+		// is computed inline on a miss). Per-processor buffer reuse is off —
+		// the streams live in worker-owned allocations.
+		t.ops = s.pf.take(t.index)
+	} else {
+		t.ops, _ = s.gen.Task(t.index, p.opBuf)
+		p.opBuf = t.ops[:0]
+	}
 	t.startedAt = p.lastTime
 	p.cur = t
 	if !redo {

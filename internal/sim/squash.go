@@ -68,6 +68,11 @@ func (s *Simulator) squashFrom(first ids.TaskID, now event.Time, word memsys.Add
 				p.cur = nil
 			}
 			p.pushRedo(t)
+			if s.pf != nil {
+				// Re-request the stream so the re-dispatch after recovery
+				// finds it pregenerated.
+				s.pf.redo(t.index)
+			}
 		}
 	}
 
