@@ -4,7 +4,7 @@ GO ?= go
 # gate against a different one (make bench BENCH=BENCH_4.json).
 BENCH ?= BENCH_3.json
 
-.PHONY: build test fmt vet race race-short chaos cluster cluster-chaos verify report bench bench-baseline trace
+.PHONY: build test fmt vet race race-short chaos cluster cluster-chaos fsck-drill verify report bench bench-baseline trace
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ cluster:
 # must still be byte-identical to a serial run.
 cluster-chaos:
 	GO="$(GO)" sh ./scripts/cluster_chaos_drill.sh
+
+# fsck-drill is the storage-fault drill: a journaled, cached sweep dies to a
+# simulated power cut mid-campaign (-io-chaos), tlsfsck verifies and repairs
+# the surviving state, and the resumed campaign's CSV must be byte-identical
+# to a clean uninterrupted run's.
+fsck-drill:
+	GO="$(GO)" sh ./scripts/fsck_drill.sh
 
 # verify is the CI gate: formatting, vet, build, full tests, race tests.
 verify: fmt vet build test race

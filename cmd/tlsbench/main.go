@@ -35,6 +35,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/event"
 	"repro/internal/ids"
+	"repro/internal/iofault"
 	"repro/internal/memsys"
 	"repro/internal/profiling"
 )
@@ -306,7 +307,7 @@ func main() {
 			os.Exit(1)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*basePath, data, 0o644); err != nil {
+		if err := iofault.WriteFileAtomic(iofault.Real, *basePath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "tlsbench: %v\n", err)
 			stopProf()
 			os.Exit(1)

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
+	"repro/internal/iofault"
 	"repro/internal/machine"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -769,7 +770,9 @@ func writeRecords(path string, rs []record) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Atomic publish: a crash mid-write must not leave a torn record file
+	// under the final name (the record is the chaos campaign's evidence).
+	return iofault.WriteFileAtomic(iofault.Real, path, append(data, '\n'), 0o644)
 }
 
 func fatalf(format string, args ...any) {

@@ -15,14 +15,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/iofault"
 	"repro/internal/profiling"
 	"repro/internal/report"
 )
@@ -213,7 +216,7 @@ func main() {
 		if want("table3") {
 			report.RenderTable3(w, chars)
 		}
-		writeCSV(*csvDir, "characterization.csv", func(f *os.File) error {
+		writeCSV(*csvDir, "characterization.csv", func(f io.Writer) error {
 			return report.ExportCharacterizationCSV(f, chars)
 		})
 	}
@@ -225,8 +228,8 @@ func main() {
 		report.RenderGrid(w, fig9, "Figure 9. Separation of task state, eager vs lazy AMM (NUMA)")
 		report.RenderAverages(w, fig9)
 		report.RenderChecks(w, report.CheckFigure9Claims(fig9))
-		writeCSV(*csvDir, "fig9.csv", func(f *os.File) error { return report.ExportGridCSV(f, fig9) })
-		writeCSV(*svgDir, "fig9.svg", func(f *os.File) error {
+		writeCSV(*csvDir, "fig9.csv", func(f io.Writer) error { return report.ExportGridCSV(f, fig9) })
+		writeCSV(*svgDir, "fig9.svg", func(f io.Writer) error {
 			return report.RenderGridSVG(f, fig9, "Figure 9. Separation of task state (NUMA16)")
 		})
 	}
@@ -241,8 +244,8 @@ func main() {
 				g.Cell("P3m", repro.MultiTMVLazy).Result.OverflowSpills)
 		}
 		report.RenderChecks(w, report.CheckFigure10Claims(g, lazyL2))
-		writeCSV(*csvDir, "fig10.csv", func(f *os.File) error { return report.ExportGridCSV(f, g) })
-		writeCSV(*svgDir, "fig10.svg", func(f *os.File) error {
+		writeCSV(*csvDir, "fig10.csv", func(f io.Writer) error { return report.ExportGridCSV(f, g) })
+		writeCSV(*svgDir, "fig10.svg", func(f io.Writer) error {
 			return report.RenderGridSVG(f, g, "Figure 10. AMM vs FMM (NUMA16)")
 		})
 	}
@@ -253,8 +256,8 @@ func main() {
 	if want("fig11") {
 		report.RenderGrid(w, fig11, "Figure 11. Separation of task state, eager vs lazy AMM (CMP)")
 		report.RenderAverages(w, fig11)
-		writeCSV(*csvDir, "fig11.csv", func(f *os.File) error { return report.ExportGridCSV(f, fig11) })
-		writeCSV(*svgDir, "fig11.svg", func(f *os.File) error {
+		writeCSV(*csvDir, "fig11.csv", func(f io.Writer) error { return report.ExportGridCSV(f, fig11) })
+		writeCSV(*svgDir, "fig11.svg", func(f io.Writer) error {
 			return report.RenderGridSVG(f, fig11, "Figure 11. Separation of task state (CMP8)")
 		})
 	}
@@ -265,7 +268,7 @@ func main() {
 	if *only == "scaling" {
 		pts := repro.Scalability(opt)
 		report.RenderScalability(w, pts)
-		writeCSV(*svgDir, "scaling.svg", func(f *os.File) error {
+		writeCSV(*svgDir, "scaling.svg", func(f io.Writer) error {
 			return report.RenderScalabilitySVG(f, pts)
 		})
 	}
@@ -298,10 +301,12 @@ func known(artifact string) bool {
 	return false
 }
 
-// writeCSV writes one CSV/SVG artifact when the directory flag is set; any
-// write, flush or close error is fatal so a truncated artifact can never
-// pass silently.
-func writeCSV(dir, name string, write func(*os.File) error) {
+// writeCSV writes one CSV/SVG artifact when the directory flag is set. The
+// artifact is rendered in memory and published atomically (temp file,
+// fsync, rename, directory fsync), so a crash or full disk mid-write can
+// never leave a truncated artifact under the final name; any error is
+// fatal so it cannot pass silently.
+func writeCSV(dir, name string, write func(f io.Writer) error) {
 	if dir == "" {
 		return
 	}
@@ -309,17 +314,12 @@ func writeCSV(dir, name string, write func(*os.File) error) {
 		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
 		os.Exit(1)
 	}
-	f, err := os.Create(dir + "/" + name)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tlsreport: %v\n", err)
-		os.Exit(1)
-	}
-	if err := write(f); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
 		fmt.Fprintf(os.Stderr, "tlsreport: writing %s: %v\n", name, err)
 		os.Exit(1)
 	}
-	if err := f.Close(); err != nil {
+	if err := iofault.WriteFileAtomic(iofault.Real, dir+"/"+name, buf.Bytes(), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "tlsreport: writing %s: %v\n", name, err)
 		os.Exit(1)
 	}

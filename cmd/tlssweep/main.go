@@ -28,6 +28,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/iofault"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory (default <journal>.ckpt when journaling)")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		listenF  = flag.String("listen", "", "serve live telemetry on this address (/metrics Prometheus text, /progress JSON)")
+		ioChaos  = flag.String("io-chaos", "", "inject storage faults into all durable state, e.g. \"seed=7,perr=0.01,psync=0.02,cut=120,cutmode=torn\" (fault drills; see tlsfsck)")
 		coordF   = flag.String("coordinator", "", "run the sweep on a distributed fleet via this tlsserve URL (execution flags then apply coordinator/worker-side)")
 		rpcT     = flag.Duration("rpc-timeout", 30*time.Second, "total per-RPC deadline against the coordinator")
 		dialT    = flag.Duration("dial-timeout", 5*time.Second, "connection-attempt deadline against the coordinator")
@@ -130,6 +132,24 @@ func main() {
 		}
 	}
 	runner := &repro.Runner{Workers: *jobsN}
+	var fsys iofault.FS
+	if *ioChaos != "" {
+		plan, err := iofault.ParsePlan(*ioChaos)
+		die(err)
+		inj := iofault.NewInjector(plan)
+		inj.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tlssweep: "+format+"\n", args...)
+		}
+		// Die exactly as a power loss would: no flushing, no cleanup. The
+		// cut has already rewritten the disk to a legal crash state.
+		inj.OnCut = func() {
+			fmt.Fprintln(os.Stderr, "tlssweep: simulated power cut; verify state with tlsfsck, then -resume")
+			os.Exit(repro.ExitPowerCut)
+		}
+		fsys = inj
+		runner.FS = fsys
+		fmt.Fprintf(os.Stderr, "tlssweep: storage fault injection active (%s)\n", plan)
+	}
 	if *listenF != "" {
 		runner.Metrics = new(repro.RunMetrics)
 		tel := &repro.Telemetry{Name: "tlssweep", Metrics: runner.Metrics}
@@ -150,7 +170,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tlssweep: telemetry on http://%s/metrics\n", addr)
 	}
 	if *cacheDir != "" {
-		cache, err := repro.NewResultCache(*cacheDir)
+		cache, err := repro.NewResultCacheFS(fsys, *cacheDir)
 		die(err)
 		runner.Cache = cache
 	}
@@ -171,7 +191,7 @@ func main() {
 		}
 	}
 	if journalPath != "" {
-		j, err := repro.OpenJournal(journalPath)
+		j, err := repro.OpenJournalFS(fsys, journalPath)
 		die(err)
 		defer j.Close()
 		runner.Journal = j

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/iofault"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -128,30 +130,26 @@ func main() {
 
 	switch {
 	case *perfetto != "":
-		out := os.Stdout
-		var f *os.File
-		if *perfetto != "-" {
-			var err error
-			f, err = os.Create(*perfetto)
-			if err != nil {
+		if *perfetto == "-" {
+			if err := report.ExportPerfetto(os.Stdout, r, s.Sampled()); err != nil {
 				fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 				os.Exit(1)
 			}
-			out = f
+			break
 		}
-		if err := report.ExportPerfetto(out, r, s.Sampled()); err != nil {
+		// Render in memory and publish atomically (temp, fsync, rename,
+		// dir fsync): a crash or full disk mid-export can never leave a
+		// truncated trace under the final name.
+		var buf bytes.Buffer
+		if err := report.ExportPerfetto(&buf, r, s.Sampled()); err != nil {
 			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
 			os.Exit(1)
 		}
-		if f != nil {
-			// Close is where buffered bytes hit a full disk; an unchecked
-			// close here would announce success over a truncated trace.
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s: open it at https://ui.perfetto.dev or chrome://tracing\n", *perfetto)
+		if err := iofault.WriteFileAtomic(iofault.Real, *perfetto, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)
+			os.Exit(1)
 		}
+		fmt.Printf("wrote %s: open it at https://ui.perfetto.dev or chrome://tracing\n", *perfetto)
 	case *asCSV:
 		if err := report.ExportTraceCSV(os.Stdout, r); err != nil {
 			fmt.Fprintf(os.Stderr, "tlstrace: %v\n", err)

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/iofault"
 )
 
 // The campaign journal is an append-only JSONL write-ahead log of a sweep's
@@ -73,11 +75,18 @@ type JournalRecord struct {
 
 // Journal is an open campaign journal. Appends are serialized and each is
 // fsync'd before returning, so an acknowledged record survives kill -9.
+//
+// The journal enforces the fsyncgate rule: after the first failed write or
+// fsync it is poisoned — every later Append fails with the original error
+// instead of retrying, because the kernel may have dropped the dirty pages
+// and a "successful" retry would acknowledge a record that is not on disk.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	now  func() time.Time // clock behind the Wall stamp (tests, replay drills)
+	mu     sync.Mutex
+	fs     iofault.FS
+	f      iofault.File
+	path   string
+	broken error            // sticky first append failure (fsyncgate poisoning)
+	now    func() time.Time // clock behind the Wall stamp (tests, replay drills)
 }
 
 // OpenJournal opens (creating if necessary) the journal at path for
@@ -85,16 +94,34 @@ type Journal struct {
 // the tail is truncated away first so the log stays one valid record per
 // line.
 func OpenJournal(path string) (*Journal, error) {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenJournalFS(iofault.Real, path)
+}
+
+// OpenJournalFS is OpenJournal writing through an explicit filesystem seam
+// (fault drills and crash-consistency tests inject one; nil means the real
+// OS).
+func OpenJournalFS(fsys iofault.FS, path string) (*Journal, error) {
+	if fsys == nil {
+		fsys = iofault.Real
+	}
+	dir := filepath.Dir(path)
+	if dir != "." {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	end, err := completePrefixLen(f)
+	// Make the journal file itself durable: creating it is a directory
+	// mutation, and an acknowledged record in a file whose name never
+	// reached disk is still lost.
+	if err := fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: directory sync: %w", path, err)
+	}
+	end, err := completePrefixLen(fsys, path)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -107,13 +134,13 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{f: f, path: path, now: time.Now}, nil
+	return &Journal{fs: fsys, f: f, path: path, now: time.Now}, nil
 }
 
-// completePrefixLen returns the byte length of f's longest prefix of
+// completePrefixLen returns the byte length of the file's longest prefix of
 // complete ('\n'-terminated) lines.
-func completePrefixLen(f *os.File) (int64, error) {
-	data, err := os.ReadFile(f.Name())
+func completePrefixLen(fsys iofault.FS, path string) (int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
@@ -137,10 +164,14 @@ func (j *Journal) SetClock(now func() time.Time) {
 }
 
 // Append durably writes one record: marshal, write the line, fsync. The
-// record is on disk when Append returns.
+// record is on disk when Append returns nil; after any write or sync error
+// the journal is poisoned and every later Append fails fast (see Broken).
 func (j *Journal) Append(rec JournalRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.broken != nil {
+		return fmt.Errorf("journal %s poisoned by earlier failure: %w", j.path, j.broken)
+	}
 	if rec.Wall == "" {
 		rec.Wall = j.now().UTC().Format(time.RFC3339)
 	}
@@ -150,9 +181,28 @@ func (j *Journal) Append(rec JournalRecord) error {
 	}
 	data = append(data, '\n')
 	if _, err := j.f.Write(data); err != nil {
+		// A partial line may be on disk; appending more would corrupt an
+		// interior line, and the torn-tail forgiveness only covers the
+		// final one. Poison the journal.
+		j.broken = err
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		// fsyncgate: the kernel may have dropped the dirty pages while
+		// marking them clean. Retrying the fsync could report success for
+		// data that never reached disk, so the journal must never retry.
+		j.broken = err
+		return err
+	}
+	return nil
+}
+
+// Broken returns the sticky error that poisoned the journal, or nil while
+// it is healthy.
+func (j *Journal) Broken() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken
 }
 
 // Close closes the journal file.

@@ -25,6 +25,8 @@ type Metrics struct {
 	timeouts    int
 	quarantined int
 	putErrors   int
+	journalErrs int
+	heal        HealReport
 	wall        stats.Tally // per-executed-job wall time, seconds
 	simCycles   uint64
 }
@@ -75,6 +77,23 @@ func (m *Metrics) cachePutFailed() {
 	m.putErrors++
 }
 
+// journalAppendFailed records a WAL append that could not be persisted: the
+// campaign continues, but a crash before the next successful append loses
+// that progress record, so the count must be visible.
+func (m *Metrics) journalAppendFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalErrs++
+}
+
+// ObserveHeal folds the cache's latest self-healing scan into the metrics
+// (idempotent: the report replaces the previous one).
+func (m *Metrics) ObserveHeal(rep HealReport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.heal = rep
+}
+
 // Snapshot is a point-in-time view of a Metrics.
 type Snapshot struct {
 	// Job counts: Done = CacheHits + Deduped + Executed + Errors.
@@ -88,6 +107,13 @@ type Snapshot struct {
 	// CachePutErrors counts results that could not be persisted to the
 	// cache (e.g. a full disk); the results themselves were still used.
 	CachePutErrors int
+	// JournalErrors counts WAL appends that could not be persisted (a full
+	// disk, or a journal poisoned by a failed fsync).
+	JournalErrors int
+	// CacheQuarantined and CacheQuarantineErrors report the startup heal
+	// scan: corrupt entries set aside, and corrupt entries that could not
+	// even be renamed aside.
+	CacheQuarantined, CacheQuarantineErrors int
 	// Elapsed is the wall time since the first batch was queued.
 	Elapsed time.Duration
 	// JobWallMean and JobWallMax summarize per-executed-job wall times.
@@ -104,8 +130,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Total: m.total, Done: m.done, CacheHits: m.hits, Deduped: m.deduped,
 		Executed: m.executed, Errors: m.errors, Retries: m.retries,
 		Timeouts: m.timeouts, Quarantined: m.quarantined,
-		CachePutErrors: m.putErrors,
-		SimCycles:      m.simCycles,
+		CachePutErrors:        m.putErrors,
+		JournalErrors:         m.journalErrs,
+		CacheQuarantined:      m.heal.Quarantined,
+		CacheQuarantineErrors: m.heal.QuarantineFailures + m.heal.RemoveFailures,
+		SimCycles:             m.simCycles,
 	}
 	if !m.start.IsZero() {
 		s.Elapsed = time.Since(m.start)
@@ -155,6 +184,15 @@ func (s Snapshot) String() string {
 	}
 	if s.CachePutErrors > 0 {
 		line += fmt.Sprintf(", %d cache-put errors", s.CachePutErrors)
+	}
+	if s.JournalErrors > 0 {
+		line += fmt.Sprintf(", %d journal errors", s.JournalErrors)
+	}
+	if s.CacheQuarantined > 0 {
+		line += fmt.Sprintf(", %d cache entries quarantined", s.CacheQuarantined)
+	}
+	if s.CacheQuarantineErrors > 0 {
+		line += fmt.Sprintf(", %d cache quarantine errors", s.CacheQuarantineErrors)
 	}
 	line += fmt.Sprintf("), %s simulated at %s/s, job wall mean %s max %s, elapsed %s",
 		siCycles(float64(s.SimCycles)), siCycles(s.CyclesPerSecond()),

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -13,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/sim"
 )
 
@@ -107,6 +107,10 @@ type Runner struct {
 	// starting over. An unreadable or mismatched checkpoint falls back to a
 	// fresh run (resume is best-effort, never an error source).
 	Resume map[string]string
+	// FS is the filesystem seam the runner's durable writes (checkpoints,
+	// post-mortem dumps) go through. nil means the real OS; fault drills
+	// inject an iofault.Injector here and into the journal and cache.
+	FS iofault.FS
 
 	// execOverride replaces Job.Execute in tests (e.g. with a function that
 	// hangs, to exercise the watchdog).
@@ -139,6 +143,14 @@ type Runner struct {
 type flight struct {
 	done chan struct{}
 	res  JobResult
+}
+
+// fsys returns the filesystem seam, defaulting to the real OS.
+func (r *Runner) fsys() iofault.FS {
+	if r.FS != nil {
+		return r.FS
+	}
+	return iofault.Real
 }
 
 func (r *Runner) workers(jobs int) int {
@@ -181,6 +193,11 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]JobResult, error) 
 	}
 	if r.Metrics != nil {
 		r.Metrics.batchQueued(len(jobs))
+		if r.Cache != nil {
+			// Surface the startup heal scan (quarantined torn entries, and
+			// entries that could not be quarantined) in the run metrics.
+			r.Metrics.ObserveHeal(r.Cache.LastHeal())
+		}
 	}
 	out := make([]JobResult, len(jobs))
 	started := make([]bool, len(jobs))
@@ -301,7 +318,7 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 			// the now-obsolete checkpoint.
 			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label()})
 			if r.CheckpointDir != "" {
-				os.Remove(filepath.Join(r.CheckpointDir, j.Key()+".ckpt"))
+				r.fsys().Remove(filepath.Join(r.CheckpointDir, j.Key()+".ckpt"))
 			}
 			break
 		}
@@ -358,7 +375,7 @@ func (r *Runner) journalAppend(rec JournalRecord) {
 		return
 	}
 	if err := r.Journal.Append(rec); err != nil && r.Metrics != nil {
-		r.Metrics.cachePutFailed()
+		r.Metrics.journalAppendFailed()
 	}
 }
 
@@ -390,7 +407,7 @@ func (r *Runner) prepare(j Job) *jobRun {
 	}
 	jr := &jobRun{sim: s}
 	if r.CheckpointDir != "" {
-		os.MkdirAll(r.CheckpointDir, 0o755)
+		r.fsys().MkdirAll(r.CheckpointDir, 0o755)
 		ckPath := filepath.Join(r.CheckpointDir, j.Key()+".ckpt")
 		if r.CheckpointEvery > 0 {
 			s.SetAutoCheckpoint(r.CheckpointEvery)
@@ -404,7 +421,9 @@ func (r *Runner) prepare(j Job) *jobRun {
 				path = filepath.Join(r.CheckpointDir, j.Key()+".stuck.ckpt")
 				r.dumpProgress(j, s)
 			}
-			if err := sim.WriteCheckpointFile(path, ck); err == nil {
+			// The checkpoint record is journaled only after the file — and
+			// the rename that published it — are durable.
+			if err := sim.WriteCheckpointFileFS(r.fsys(), path, ck); err == nil {
 				r.journalAppend(JournalRecord{
 					T: RecCheckpoint, Key: j.Key(), Label: j.Label(),
 					Ckpt: path, Commits: ck.Commits,
@@ -484,7 +503,7 @@ func (r *Runner) dumpProgress(j Job, s *sim.Simulator) {
 	if err != nil {
 		return
 	}
-	os.WriteFile(filepath.Join(r.CheckpointDir, j.Key()+".progress.json"), data, 0o644)
+	iofault.WriteFileAtomic(r.fsys(), filepath.Join(r.CheckpointDir, j.Key()+".progress.json"), data, 0o644)
 }
 
 // track registers an executing simulation for shutdown interrupts.

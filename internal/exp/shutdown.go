@@ -12,6 +12,12 @@ import (
 // (128 + SIGINT, the shell convention).
 const ExitInterrupted = 130
 
+// ExitPowerCut is the campaign CLIs' exit code when an injected storage
+// fault plan's power cut fires (-io-chaos cut=N): the process dies at the
+// exact moment the simulated machine loses power, leaving whatever the cut
+// left on disk for tlsfsck and -resume to deal with.
+const ExitPowerCut = 3
+
 // Shutdown implements the campaign CLIs' two-stage signal protocol:
 //
 //	first SIGINT/SIGTERM  — cancel the context; workers checkpoint their

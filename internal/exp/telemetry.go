@@ -149,6 +149,9 @@ func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.PromMetric(w, "tls_job_timeouts", "counter", float64(s.Timeouts))
 	obs.PromMetric(w, "tls_jobs_quarantined", "counter", float64(s.Quarantined))
 	obs.PromMetric(w, "tls_cache_put_errors", "counter", float64(s.CachePutErrors))
+	obs.PromMetric(w, "tls_journal_errors", "counter", float64(s.JournalErrors))
+	obs.PromMetric(w, "tls_cache_quarantined", "counter", float64(s.CacheQuarantined))
+	obs.PromMetric(w, "tls_cache_quarantine_errors", "counter", float64(s.CacheQuarantineErrors))
 	obs.PromMetric(w, "tls_sim_cycles_total", "counter", float64(s.SimCycles))
 	obs.PromMetric(w, "tls_sim_cycles_per_second", "gauge", s.CyclesPerSecond())
 	obs.PromMetric(w, "tls_elapsed_seconds", "gauge", s.Elapsed.Seconds())

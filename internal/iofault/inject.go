@@ -1,0 +1,503 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// ErrPowerCut is returned by every operation on an Injector after its
+// plan's power cut has fired: the machine is off. Test with errors.Is.
+var ErrPowerCut = errors.New("iofault: simulated power cut")
+
+// ErrPoisoned is returned by writes on a handle whose Sync failed: the
+// fsyncgate rule says the unsynced data is already lost and the handle must
+// not be trusted again. Test with errors.Is.
+var ErrPoisoned = errors.New("iofault: file handle poisoned by failed fsync")
+
+// Injector implements FS over the real operating system while injecting the
+// storage faults of a Plan. It additionally tracks what is actually durable
+// — bytes synced per file, creates and renames whose directory was synced —
+// so that the simulated power cut can drop exactly the state a real power
+// cut could drop: unsynced tails are truncated, zeroed or torn, and
+// non-dir-synced creates and renames are reverted.
+//
+// The injector is safe for concurrent use; fault decisions are a
+// deterministic function of (plan seed, mutating-op index).
+type Injector struct {
+	// OnCut, when non-nil, runs once, immediately after the power cut has
+	// rewritten the on-disk state. Drills install a hard process exit here
+	// so the campaign dies exactly as a power cut would kill it.
+	OnCut func()
+	// Logf, when non-nil, receives one line per injected fault.
+	Logf func(format string, args ...any)
+
+	plan Plan
+
+	mu      sync.Mutex
+	ops     int              // mutating-op counter (1-based in decisions)
+	cut     bool             // power already cut
+	durable map[string]int64 // synced byte count per path
+	undo    []nsUndo         // creates/renames/removes not yet dir-synced
+	faults  []string         // decision log
+}
+
+// nsUndo is one namespace operation that is not durable yet: enough saved
+// state to revert it at power-cut time.
+type nsUndo struct {
+	dir      string // directory whose SyncDir commits this op
+	kind     string // "create", "rename", "remove"
+	path     string // created file, or rename target
+	from     string // rename source
+	oldData  []byte // target's prior content (rename over existing), or removed file's content
+	hadOld   bool
+	fromData []byte // source content to restore at `from` on revert
+}
+
+// NewInjector builds an injector over the real filesystem. A zero plan
+// injects nothing and behaves exactly like Real.
+func NewInjector(plan Plan) *Injector {
+	if plan.CutMode == "" {
+		plan.CutMode = CutTruncate
+	}
+	return &Injector{plan: plan, durable: make(map[string]int64)}
+}
+
+// Plan returns the injector's fault plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Faults returns the decision log: one line per injected fault, in order.
+func (in *Injector) Faults() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.faults...)
+}
+
+// CutFired reports whether the plan's power cut has happened.
+func (in *Injector) CutFired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cut
+}
+
+// SetShortWrites adjusts the plan's short-write probability mid-run (p=1
+// makes every subsequent write stop short with ENOSPC). Tests use it to
+// aim a fault at one specific operation instead of rolling dice.
+func (in *Injector) SetShortWrites(p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan.PShort = p
+}
+
+// SetSyncFailures adjusts the plan's fsync-failure probability mid-run
+// (p=1 makes every subsequent file or directory sync fail and poison its
+// handle per the fsyncgate rule).
+func (in *Injector) SetSyncFailures(p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan.PSync = p
+}
+
+// SetErrors adjusts the plan's hard-error probability mid-run (p=1 makes
+// every subsequent mutating op fail with EIO or ENOSPC).
+func (in *Injector) SetErrors(p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan.PErr = p
+}
+
+// CutAfter schedules the power cut to fire on the n-th mutating op from
+// now (n=1 means the very next one).
+func (in *Injector) CutAfter(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan.Cut = in.ops + n
+}
+
+func (in *Injector) note(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	in.faults = append(in.faults, line)
+	if in.Logf != nil {
+		in.Logf("iofault: %s", line)
+	}
+}
+
+// step advances the mutating-op counter, fires the power cut when the plan
+// says so, and reports whether the machine is still on. Callers hold in.mu.
+func (in *Injector) step() (op int, alive bool) {
+	if in.cut {
+		return in.ops, false
+	}
+	in.ops++
+	if in.plan.Cut > 0 && in.ops >= in.plan.Cut {
+		in.powerCut()
+		return in.ops, false
+	}
+	return in.ops, true
+}
+
+// hardErr picks EIO or ENOSPC deterministically for op.
+func (in *Injector) hardErr(op int, what, path string) error {
+	errno := syscall.EIO
+	if in.plan.roll(op, 7) < 0.5 {
+		errno = syscall.ENOSPC
+	}
+	in.note("op %d: injected %v on %s %s", op, errno, what, path)
+	return &os.PathError{Op: what, Path: path, Err: errno}
+}
+
+// powerCut rewrites the disk to a state a real power loss could have left:
+// reverts every namespace op whose directory was never synced, then drops
+// unsynced file tails per the plan's CutMode. Called with in.mu held.
+func (in *Injector) powerCut() {
+	in.cut = true
+	in.note("op %d: POWER CUT (%s): reverting %d unsynced namespace ops",
+		in.ops, in.plan.CutMode, len(in.undo))
+	// Revert in reverse order so stacked ops unwind correctly.
+	for i := len(in.undo) - 1; i >= 0; i-- {
+		u := in.undo[i]
+		switch u.kind {
+		case "create":
+			os.Remove(u.path)
+		case "rename":
+			if in.plan.CutMode == CutTorn && i == len(in.undo)-1 {
+				// The freshest rename is left torn instead of reverted: the
+				// target exists under its final name but holds only a prefix
+				// — the non-atomic-rename crash recovery must tolerate.
+				if data, err := os.ReadFile(u.path); err == nil && len(data) > 0 {
+					os.WriteFile(u.path, data[:len(data)/2], 0o644)
+					in.note("cut: rename %s left torn (%d of %d bytes)",
+						u.path, len(data)/2, len(data))
+					continue
+				}
+			}
+			if u.fromData != nil {
+				os.WriteFile(u.from, u.fromData, 0o644)
+			}
+			if u.hadOld {
+				os.WriteFile(u.path, u.oldData, 0o644)
+			} else {
+				os.Remove(u.path)
+			}
+		case "remove":
+			if u.hadOld {
+				os.WriteFile(u.path, u.oldData, 0o644)
+			}
+		}
+	}
+	in.undo = nil
+	// Drop unsynced tails of every file we have durability bookkeeping for.
+	for path, synced := range in.durable {
+		st, err := os.Stat(path)
+		if err != nil || st.Size() <= synced {
+			continue
+		}
+		switch in.plan.CutMode {
+		case CutZero:
+			// The tail's pages were allocated but their data never hit the
+			// platter: present, but zero.
+			zeros := make([]byte, st.Size()-synced)
+			if f, err := os.OpenFile(path, os.O_WRONLY, 0o644); err == nil {
+				f.WriteAt(zeros, synced)
+				f.Close()
+			}
+			in.note("cut: %s bytes [%d,%d) zeroed", path, synced, st.Size())
+		case CutTorn:
+			keep := synced + (st.Size()-synced)/2
+			os.Truncate(path, keep)
+			in.note("cut: %s torn at %d (synced %d, size %d)", path, keep, synced, st.Size())
+		default:
+			os.Truncate(path, synced)
+			in.note("cut: %s truncated to synced %d (was %d)", path, synced, st.Size())
+		}
+	}
+	if in.OnCut != nil {
+		in.OnCut()
+	}
+}
+
+// dirSynced commits every pending namespace op under dir. Called with in.mu
+// held, after a successful SyncDir.
+func (in *Injector) dirSynced(dir string) {
+	kept := in.undo[:0]
+	for _, u := range in.undo {
+		if u.dir != dir {
+			kept = append(kept, u)
+		}
+	}
+	in.undo = kept
+}
+
+// injFile is an open file under injection: it tracks size and synced size
+// so the power cut knows what to drop, and carries the fsyncgate poison.
+type injFile struct {
+	in       *Injector
+	f        File
+	path     string
+	size     int64
+	poisoned bool
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return nil, &os.PathError{Op: "open", Path: name, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return nil, in.hardErr(op, "open", name)
+	}
+	_, existed := in.durable[name]
+	if !existed {
+		if st, err := os.Stat(name); err == nil {
+			// Pre-existing file from before this "boot": its current content
+			// is assumed durable.
+			in.durable[name] = st.Size()
+			existed = true
+		}
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !existed {
+		in.durable[name] = 0
+		in.undo = append(in.undo, nsUndo{dir: filepath.Dir(name), kind: "create", path: name})
+	}
+	if flag&os.O_TRUNC != 0 {
+		in.durable[name] = 0
+	}
+	return &injFile{in: in, f: f, path: name, size: st.Size()}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return nil, in.hardErr(op, "createtemp", dir)
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	name := f.Name()
+	in.durable[name] = 0
+	in.undo = append(in.undo, nsUndo{dir: filepath.Dir(name), kind: "create", path: name})
+	return &injFile{in: in, f: f, path: name}, nil
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: ErrPowerCut}
+	}
+	if f.poisoned {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: ErrPoisoned}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return 0, in.hardErr(op, "write", f.path)
+	}
+	if in.plan.roll(op, 2) < in.plan.PShort && len(p) > 1 {
+		n, _ := f.f.Write(p[:len(p)/2])
+		f.size += int64(n)
+		in.note("op %d: short write on %s (%d of %d bytes, ENOSPC)", op, f.path, n, len(p))
+		return n, &os.PathError{Op: "write", Path: f.path, Err: syscall.ENOSPC}
+	}
+	n, err := f.f.Write(p)
+	f.size += int64(n)
+	return n, err
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *injFile) Truncate(size int64) error {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "truncate", Path: f.path, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return in.hardErr(op, "truncate", f.path)
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	if in.durable[f.path] > size {
+		in.durable[f.path] = size
+	}
+	return nil
+}
+
+func (f *injFile) Sync() error {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "sync", Path: f.path, Err: ErrPowerCut}
+	}
+	if f.poisoned {
+		// The fsyncgate trap: the earlier failure already marked the dirty
+		// pages clean, so this retry "succeeds" — while persisting nothing.
+		// Durability bookkeeping does NOT advance; code that acknowledges
+		// on the strength of this sync is caught by the crash checker.
+		in.note("op %d: silently-lost fsync on poisoned %s", op, f.path)
+		return nil
+	}
+	if in.plan.roll(op, 3) < in.plan.PSync {
+		// Failed fsync: the unsynced tail is gone (pages dropped), and the
+		// handle is poisoned.
+		f.poisoned = true
+		synced := in.durable[f.path]
+		os.Truncate(f.path, synced)
+		f.size = synced
+		in.note("op %d: fsync FAILED on %s; unsynced tail beyond %d dropped, fd poisoned",
+			op, f.path, synced)
+		return &os.PathError{Op: "sync", Path: f.path, Err: syscall.EIO}
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	if st, err := os.Stat(f.path); err == nil {
+		in.durable[f.path] = st.Size()
+	} else {
+		in.durable[f.path] = f.size
+	}
+	return nil
+}
+
+func (f *injFile) Close() error {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cut {
+		f.f.Close()
+		return &os.PathError{Op: "close", Path: f.path, Err: ErrPowerCut}
+	}
+	return f.f.Close()
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return in.hardErr(op, "rename", newpath)
+	}
+	u := nsUndo{dir: filepath.Dir(newpath), kind: "rename", path: newpath, from: oldpath}
+	u.fromData, _ = os.ReadFile(oldpath)
+	if data, err := os.ReadFile(newpath); err == nil {
+		u.oldData, u.hadOld = data, true
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// The file object moves with its durable bytes; the *name* is what is
+	// not durable until the directory syncs.
+	if synced, ok := in.durable[oldpath]; ok {
+		in.durable[newpath] = synced
+		delete(in.durable, oldpath)
+	}
+	in.undo = append(in.undo, u)
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "remove", Path: name, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return in.hardErr(op, "remove", name)
+	}
+	u := nsUndo{dir: filepath.Dir(name), kind: "remove", path: name}
+	if data, err := os.ReadFile(name); err == nil {
+		u.oldData, u.hadOld = data, true
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	delete(in.durable, name)
+	in.undo = append(in.undo, u)
+	return nil
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "mkdir", Path: path, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 1) < in.plan.PErr {
+		return in.hardErr(op, "mkdir", path)
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	in.mu.Lock()
+	cut := in.cut
+	in.mu.Unlock()
+	if cut {
+		return nil, &os.PathError{Op: "read", Path: name, Err: ErrPowerCut}
+	}
+	return os.ReadFile(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	in.mu.Lock()
+	cut := in.cut
+	in.mu.Unlock()
+	if cut {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: ErrPowerCut}
+	}
+	return os.ReadDir(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op, alive := in.step()
+	if !alive {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: ErrPowerCut}
+	}
+	if in.plan.roll(op, 3) < in.plan.PSync {
+		in.note("op %d: directory fsync FAILED on %s (renames inside are not durable)", op, dir)
+		return &os.PathError{Op: "syncdir", Path: dir, Err: syscall.EIO}
+	}
+	if err := Real.SyncDir(dir); err != nil {
+		return err
+	}
+	in.dirSynced(filepath.Clean(dir))
+	return nil
+}

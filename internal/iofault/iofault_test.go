@@ -1,0 +1,338 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=7,perr=0.01,pshort=0.02,psync=0.03,cut=42,cutmode=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.PErr != 0.01 || p.PShort != 0.02 || p.PSync != 0.03 ||
+		p.Cut != 42 || p.CutMode != CutZero {
+		t.Fatalf("parsed %+v", p)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round-trip %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round-trip %+v != %+v", back, p)
+	}
+	for _, bad := range []string{"", "seed=x", "bogus=1", "perr=2", "cutmode=maybe", "seed"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	p := Plan{Seed: 99, PErr: 0.3}
+	for op := 1; op < 100; op++ {
+		if p.roll(op, 1) != p.roll(op, 1) {
+			t.Fatalf("op %d: roll not deterministic", op)
+		}
+	}
+	// Different seeds must disagree somewhere.
+	q := Plan{Seed: 100, PErr: 0.3}
+	same := 0
+	for op := 1; op < 100; op++ {
+		if (p.roll(op, 1) < 0.3) == (q.roll(op, 1) < 0.3) {
+			same++
+		}
+	}
+	if same == 99 {
+		t.Fatal("seeds 99 and 100 made identical decisions on 99 ops")
+	}
+}
+
+func TestInjectorSyncFailurePoisonsHandle(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Plan{Seed: 1, PSync: 1}) // every sync fails
+	path := filepath.Join(dir, "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync succeeded under PSync=1")
+	}
+	// fsyncgate: the unsynced data is gone.
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("unsynced data survived failed fsync: %q", data)
+	}
+	// The retry silently "succeeds" — but must not resurrect anything.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("poisoned retry sync: %v (want silent success)", err)
+	}
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("write on poisoned fd: %v (want ErrPoisoned)", err)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Plan{Seed: 3, PShort: 1})
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write error %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+}
+
+func TestInjectorPowerCutTruncatesUnsyncedAndRevertsRenames(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Plan{Seed: 5, Cut: 1000}) // manual cut below
+	var cuts int
+	in.OnCut = func() { cuts++ }
+
+	// A file with a synced prefix and an unsynced tail.
+	fpath := filepath.Join(dir, "wal")
+	f, err := in.OpenFile(fpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A temp renamed over an existing entry, directory never synced.
+	entry := filepath.Join(dir, "entry.json")
+	if err := os.WriteFile(entry, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Make the injector aware of the pre-existing entry.
+	ef, err := in.OpenFile(entry, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+	tmp, err := in.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("new-entry")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(tmp.Name(), entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the cut on the next mutating op.
+	in.plan.Cut = in.ops + 1
+	if err := in.SyncDir("/nonexistent-other-dir"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("cut op returned %v, want ErrPowerCut", err)
+	}
+	if cuts != 1 {
+		t.Fatalf("OnCut ran %d times, want 1", cuts)
+	}
+
+	// Unsynced tail gone, synced prefix intact.
+	if data, _ := os.ReadFile(fpath); string(data) != "durable|" {
+		t.Fatalf("wal after cut: %q, want %q", data, "durable|")
+	}
+	// Non-dir-synced rename reverted: old entry content restored.
+	if data, _ := os.ReadFile(entry); string(data) != "old" {
+		t.Fatalf("entry after cut: %q, want %q (rename reverted)", data, "old")
+	}
+	// Everything after the cut fails.
+	if _, err := in.OpenFile(fpath, os.O_RDWR, 0o644); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut open: %v", err)
+	}
+	if _, err := in.ReadFile(fpath); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut read: %v", err)
+	}
+}
+
+func TestInjectorDirSyncCommitsRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Plan{Seed: 8, Cut: 1000})
+	tmp, err := in.CreateTemp(dir, "x-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Write([]byte("payload"))
+	tmp.Sync()
+	tmp.Close()
+	final := filepath.Join(dir, "final")
+	if err := in.Rename(tmp.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	in.plan.Cut = in.ops + 1
+	in.MkdirAll(filepath.Join(dir, "other"), 0o755) // fires the cut
+	if data, _ := os.ReadFile(final); string(data) != "payload" {
+		t.Fatalf("dir-synced rename did not survive the cut: %q", data)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(Real, path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(nil, path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "v2" {
+		t.Fatalf("content %q", data)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp litter left behind: %v", ents)
+	}
+}
+
+// The recorder + enumerator on the canonical write-fsync-rename-dirsync
+// pattern: before the dir sync the entry may legally be missing, stale, or
+// present-under-the-temp-name; after it, every state must hold the payload.
+func TestCrashStatesAtomicReplace(t *testing.T) {
+	root := t.TempDir()
+	rec := NewRecorder(root)
+	tmp, err := rec.CreateTemp(root, "e-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Write([]byte("PAYLOAD"))
+	tmp.Sync()
+	tmp.Close()
+	final := filepath.Join(root, "entry")
+	if err := rec.Rename(tmp.Name(), final); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SyncDir(root); err != nil {
+		t.Fatal(err)
+	}
+	rec.Note("entry acked")
+
+	states := CrashStates(rec.Trace())
+	if len(states) < 5 {
+		t.Fatalf("only %d states enumerated", len(states))
+	}
+	sawAcked := false
+	for _, s := range states {
+		acked := len(s.Acked) > 0
+		if acked {
+			sawAcked = true
+			if string(s.Files["entry"]) != "PAYLOAD" {
+				t.Fatalf("%s: acked entry is %q", s.Desc, s.Files["entry"])
+			}
+		}
+		// In every state, any visible "entry" file is either absent or holds
+		// a prefix of the payload (the rename source was fully synced first,
+		// so no state may invent bytes).
+		if data, ok := s.Files["entry"]; ok && !bytes.HasPrefix([]byte("PAYLOAD"), data) {
+			t.Fatalf("%s: entry holds %q", s.Desc, data)
+		}
+	}
+	if !sawAcked {
+		t.Fatal("no state carries the ack")
+	}
+}
+
+// An unsynced write must be absent in strict states, zero-filled in zeroed
+// states, and prefix-only in torn states.
+func TestCrashStatesUnsyncedTailVariants(t *testing.T) {
+	root := t.TempDir()
+	rec := NewRecorder(root)
+	path := filepath.Join(root, "wal")
+	f, err := rec.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("AAAA"))
+	f.Sync()
+	rec.SyncDir(root)
+	f.Write([]byte("BBBB")) // never synced
+
+	var gotStrict, gotZero, gotTorn, gotFlushed bool
+	for _, s := range CrashStates(rec.Trace()) {
+		data := s.Files["wal"]
+		switch {
+		case bytes.Equal(data, []byte("AAAA")):
+			gotStrict = true
+		case bytes.Equal(data, []byte("AAAA\x00\x00\x00\x00")):
+			gotZero = true
+		case bytes.Equal(data, []byte("AAAABB")):
+			gotTorn = true
+		case bytes.Equal(data, []byte("AAAABBBB")):
+			gotFlushed = true
+		}
+	}
+	if !gotStrict || !gotZero || !gotTorn || !gotFlushed {
+		t.Fatalf("missing variants: strict=%v zero=%v torn=%v flushed=%v",
+			gotStrict, gotZero, gotTorn, gotFlushed)
+	}
+}
+
+func TestForEachCrashStateMaterializes(t *testing.T) {
+	root := t.TempDir()
+	rec := NewRecorder(root)
+	f, _ := rec.OpenFile(filepath.Join(root, "a"), os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	rec.SyncDir(root)
+	n := 0
+	err := ForEachCrashState(rec.Trace(), t.TempDir(), func(s CrashState, dir string) error {
+		n++
+		for rel, want := range s.Files {
+			got, err := os.ReadFile(filepath.Join(dir, rel))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: %s = %q want %q", s.Desc, rel, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no states visited")
+	}
+}
+
+func TestRealSyncDir(t *testing.T) {
+	if err := Real.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package iofault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plan is a seeded, deterministic storage-fault plan: given the same seed
+// and the same sequence of mutating filesystem operations, the injector
+// makes the same fault decisions. Probabilities apply per operation; the
+// power cut fires after a fixed count of mutating operations.
+//
+// Campaigns that want exact fault replay should run with one worker
+// (-jobs 1): with concurrent workers the operation order — and therefore
+// which operation each decision lands on — depends on goroutine scheduling.
+type Plan struct {
+	// Seed drives every decision below.
+	Seed uint64 `json:"seed"`
+	// PErr is the probability of a hard EIO/ENOSPC on a mutating operation
+	// (open, create, write, rename, remove, mkdir).
+	PErr float64 `json:"perr,omitempty"`
+	// PShort is the probability a write persists only a prefix of its bytes
+	// and returns ENOSPC.
+	PShort float64 `json:"pshort,omitempty"`
+	// PSync is the probability a Sync (or SyncDir) fails. A failed file
+	// Sync drops the unsynced bytes and poisons the handle with fsyncgate
+	// semantics: later Syncs on it silently report success while persisting
+	// nothing, and later Writes fail — so retry-and-report-success code is
+	// either caught by the crash checker or fails loudly.
+	PSync float64 `json:"psync,omitempty"`
+	// Cut, when > 0, is the 1-based mutating-operation index at which the
+	// simulated power cut fires: unsynced bytes are dropped (per CutMode),
+	// non-dir-synced creates and renames are reverted, and every later
+	// operation returns ErrPowerCut.
+	Cut int `json:"cut,omitempty"`
+	// CutMode selects what the cut does to unsynced file tails:
+	// "truncate" (default) removes them, "zero" leaves them in place as
+	// zero bytes (page-sized writeback lies), "torn" keeps an arbitrary
+	// prefix of them (a torn write).
+	CutMode string `json:"cutmode,omitempty"`
+}
+
+// Cut modes.
+const (
+	CutTruncate = "truncate"
+	CutZero     = "zero"
+	CutTorn     = "torn"
+)
+
+// ParsePlan parses the compact comma-separated key=value syntax the CLI
+// -io-chaos flags use, e.g. "seed=7,perr=0.01,pshort=0.01,psync=0.02,
+// cut=200,cutmode=zero". Unknown keys are errors so typos cannot silently
+// disable a drill's faults.
+func ParsePlan(spec string) (Plan, error) {
+	p := Plan{CutMode: CutTruncate}
+	if strings.TrimSpace(spec) == "" {
+		return p, fmt.Errorf("iofault: empty plan spec")
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("iofault: bad plan field %q (want key=value)", kv)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		case "perr":
+			p.PErr, err = parseProb(v)
+		case "pshort":
+			p.PShort, err = parseProb(v)
+		case "psync":
+			p.PSync, err = parseProb(v)
+		case "cut":
+			p.Cut, err = strconv.Atoi(strings.TrimSpace(v))
+		case "cutmode":
+			m := strings.ToLower(strings.TrimSpace(v))
+			if m != CutTruncate && m != CutZero && m != CutTorn {
+				return p, fmt.Errorf("iofault: unknown cutmode %q (want truncate, zero or torn)", v)
+			}
+			p.CutMode = m
+		default:
+			return p, fmt.Errorf("iofault: unknown plan key %q", k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("iofault: bad plan value %q: %w", kv, err)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(v string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %v out of [0,1]", f)
+	}
+	return f, nil
+}
+
+// String renders the plan in ParsePlan syntax (a canonical round-trip, for
+// drill artifacts and logs).
+func (p Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("perr", p.PErr)
+	add("pshort", p.PShort)
+	add("psync", p.PSync)
+	if p.Cut > 0 {
+		parts = append(parts, fmt.Sprintf("cut=%d", p.Cut))
+		mode := p.CutMode
+		if mode == "" {
+			mode = CutTruncate
+		}
+		parts = append(parts, "cutmode="+mode)
+	}
+	return strings.Join(parts, ",")
+}
+
+// roll returns a deterministic uniform [0,1) draw for mutating-op index op
+// (1-based) and a salt separating independent decisions on the same op.
+func (p Plan) roll(op int, salt uint64) float64 {
+	x := splitmix64(p.Seed ^ (uint64(op) * 0x9e3779b97f4a7c15) ^ (salt * 0xbf58476d1ce4e5b9))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 is the standard 64-bit mixer: tiny, stateless, and plenty for
+// fault placement.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,486 @@
+package iofault
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The crash-consistency checker: a Recorder captures the exact operation
+// trace a durable layer performs, and CrashStates expands that trace into
+// every on-disk state a power cut could have left — one set of states per
+// operation boundary, times the writeback ambiguities the kernel is allowed
+// (unsynced data absent, torn, zeroed, or fully flushed; unsynced renames
+// undone or committed). Tests materialize each state into a directory, run
+// the layer's recovery, and assert the two invariants:
+//
+//  1. nothing acknowledged before the cut is lost, and
+//  2. no unacknowledged partial state survives the heal.
+//
+// Acknowledgement points are marked on the trace with Recorder.Note.
+
+// OpKind enumerates recorded operations.
+type OpKind uint8
+
+// Operation kinds, in the order the durable layers use them.
+const (
+	OpOpen OpKind = iota
+	OpCreateTemp
+	OpWrite
+	OpTruncate
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpMkdir
+	OpSyncDir
+	OpNote
+)
+
+var opNames = [...]string{
+	"open", "createtemp", "write", "truncate", "sync", "close",
+	"rename", "remove", "mkdir", "syncdir", "note",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one recorded filesystem operation. Paths are relative to the
+// recorder's root so states can be materialized anywhere.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename target
+	Note  string
+	Flag  int    // open flags
+	Data  []byte // write payload
+	Off   int64  // write offset
+	Size  int64  // truncate size
+}
+
+// Recorder is an FS that passes every operation through to the real
+// filesystem under Root while recording the trace CrashStates replays.
+type Recorder struct {
+	root string
+
+	mu   sync.Mutex
+	ops  []Op
+	errs []error
+}
+
+// NewRecorder records operations under root (typically a test temp dir).
+func NewRecorder(root string) *Recorder {
+	return &Recorder{root: filepath.Clean(root)}
+}
+
+// Note marks an application-level acknowledgement point on the trace (for
+// example "append 3 acked", "put job-X acked"). Crash states report which
+// notes precede the cut, so tests know what the layer had promised by then.
+func (r *Recorder) Note(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{Kind: OpNote, Note: label})
+}
+
+// Trace returns the recorded operations.
+func (r *Recorder) Trace() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}
+
+func (r *Recorder) rel(path string) string {
+	rel, err := filepath.Rel(r.root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+func (r *Recorder) record(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, op)
+}
+
+// recFile wraps an open file, tracking the cursor so writes are recorded
+// with their absolute offset.
+type recFile struct {
+	r      *Recorder
+	f      File
+	path   string // relative
+	cursor int64
+}
+
+func (r *Recorder) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := Real.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if of, ok := f.(*os.File); ok {
+		if st, serr := of.Stat(); serr == nil {
+			size = st.Size()
+		}
+	}
+	rel := r.rel(name)
+	r.record(Op{Kind: OpOpen, Path: rel, Flag: flag})
+	cursor := int64(0)
+	if flag&os.O_APPEND != 0 {
+		cursor = size
+	}
+	return &recFile{r: r, f: f, path: rel, cursor: cursor}, nil
+}
+
+func (r *Recorder) CreateTemp(dir, pattern string) (File, error) {
+	f, err := Real.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	rel := r.rel(f.Name())
+	r.record(Op{Kind: OpCreateTemp, Path: rel})
+	return &recFile{r: r, f: f, path: rel}, nil
+}
+
+func (f *recFile) Name() string { return f.f.Name() }
+
+func (f *recFile) Write(p []byte) (int, error) {
+	n, err := f.f.Write(p)
+	if n > 0 {
+		f.r.record(Op{Kind: OpWrite, Path: f.path, Data: append([]byte(nil), p[:n]...), Off: f.cursor})
+		f.cursor += int64(n)
+	}
+	return n, err
+}
+
+func (f *recFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.f.Seek(offset, whence)
+	if err == nil {
+		f.cursor = pos
+	}
+	return pos, err
+}
+
+func (f *recFile) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.r.record(Op{Kind: OpTruncate, Path: f.path, Size: size})
+	return nil
+}
+
+func (f *recFile) Sync() error {
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.r.record(Op{Kind: OpSync, Path: f.path})
+	return nil
+}
+
+func (f *recFile) Close() error {
+	err := f.f.Close()
+	f.r.record(Op{Kind: OpClose, Path: f.path})
+	return err
+}
+
+func (r *Recorder) Rename(oldpath, newpath string) error {
+	if err := Real.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRename, Path: r.rel(oldpath), Path2: r.rel(newpath)})
+	return nil
+}
+
+func (r *Recorder) Remove(name string) error {
+	if err := Real.Remove(name); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRemove, Path: r.rel(name)})
+	return nil
+}
+
+func (r *Recorder) MkdirAll(path string, perm fs.FileMode) error {
+	if err := Real.MkdirAll(path, perm); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpMkdir, Path: r.rel(path)})
+	return nil
+}
+
+func (r *Recorder) ReadFile(name string) ([]byte, error)       { return Real.ReadFile(name) }
+func (r *Recorder) ReadDir(name string) ([]fs.DirEntry, error) { return Real.ReadDir(name) }
+
+func (r *Recorder) SyncDir(dir string) error {
+	if err := Real.SyncDir(dir); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpSyncDir, Path: r.rel(dir)})
+	return nil
+}
+
+// CrashState is one on-disk state a power cut could have left: the durable
+// files (relative path to content) and the acknowledgement notes that had
+// been issued before the cut.
+type CrashState struct {
+	// Desc locates the state: the op index the cut follows and the
+	// writeback variant.
+	Desc string
+	// Cut is the number of trace operations that happened before the cut.
+	Cut int
+	// Acked lists the Note labels recorded before the cut.
+	Acked []string
+	// Files is the durable filesystem image, relative path -> content.
+	Files map[string][]byte
+}
+
+// Materialize writes the state's files under dir.
+func (s CrashState) Materialize(dir string) error {
+	for rel, data := range s.Files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mfile is the volatile/durable split of one file during replay.
+type mfile struct {
+	data    []byte // volatile content (what the process wrote)
+	durable []byte // content as of the last successful fsync
+}
+
+// fsModel replays a trace, maintaining the volatile namespace (what the
+// process sees), the durable namespace (names whose create/rename/remove
+// was dir-synced) and each file's synced content.
+type fsModel struct {
+	vis     map[string]*mfile
+	dur     map[string]*mfile
+	pending []pendOp
+}
+
+type pendOp struct {
+	dir   string
+	apply func(dur map[string]*mfile)
+}
+
+func newFSModel() *fsModel {
+	return &fsModel{vis: make(map[string]*mfile), dur: make(map[string]*mfile)}
+}
+
+func (m *fsModel) apply(op Op) {
+	switch op.Kind {
+	case OpOpen:
+		f := m.vis[op.Path]
+		if f == nil {
+			f = &mfile{}
+			m.vis[op.Path] = f
+			if _, ok := m.dur[op.Path]; !ok {
+				path := op.Path
+				m.pending = append(m.pending, pendOp{
+					dir:   filepath.Dir(path),
+					apply: func(dur map[string]*mfile) { dur[path] = f },
+				})
+			}
+		}
+		if op.Flag&os.O_TRUNC != 0 {
+			f.data = nil
+		}
+	case OpCreateTemp:
+		f := &mfile{}
+		m.vis[op.Path] = f
+		path := op.Path
+		m.pending = append(m.pending, pendOp{
+			dir:   filepath.Dir(path),
+			apply: func(dur map[string]*mfile) { dur[path] = f },
+		})
+	case OpWrite:
+		f := m.vis[op.Path]
+		if f == nil {
+			return
+		}
+		end := op.Off + int64(len(op.Data))
+		if int64(len(f.data)) < end {
+			grown := make([]byte, end)
+			copy(grown, f.data)
+			f.data = grown
+		}
+		copy(f.data[op.Off:end], op.Data)
+	case OpTruncate:
+		f := m.vis[op.Path]
+		if f == nil {
+			return
+		}
+		if int64(len(f.data)) > op.Size {
+			f.data = append([]byte(nil), f.data[:op.Size]...)
+		} else {
+			grown := make([]byte, op.Size)
+			copy(grown, f.data)
+			f.data = grown
+		}
+	case OpSync:
+		if f := m.vis[op.Path]; f != nil {
+			f.durable = append([]byte(nil), f.data...)
+		}
+	case OpRename:
+		f := m.vis[op.Path]
+		if f == nil {
+			return
+		}
+		delete(m.vis, op.Path)
+		m.vis[op.Path2] = f
+		from, to := op.Path, op.Path2
+		m.pending = append(m.pending, pendOp{
+			dir: filepath.Dir(to),
+			apply: func(dur map[string]*mfile) {
+				delete(dur, from)
+				dur[to] = f
+			},
+		})
+	case OpRemove:
+		delete(m.vis, op.Path)
+		path := op.Path
+		m.pending = append(m.pending, pendOp{
+			dir:   filepath.Dir(path),
+			apply: func(dur map[string]*mfile) { delete(dur, path) },
+		})
+	case OpSyncDir:
+		kept := m.pending[:0]
+		for _, p := range m.pending {
+			if p.dir == op.Path {
+				p.apply(m.dur)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		m.pending = append([]pendOp(nil), kept...)
+	}
+}
+
+// states returns the crash states possible at the current replay point.
+func (m *fsModel) states(cut int, acked []string) []CrashState {
+	// The durable namespace with pending dir ops committed (metadata
+	// journaling often persists namespace changes ahead of data).
+	lax := make(map[string]*mfile, len(m.dur))
+	for k, v := range m.dur {
+		lax[k] = v
+	}
+	for _, p := range m.pending {
+		p.apply(lax)
+	}
+	snap := func(ns map[string]*mfile, content func(*mfile) []byte) map[string][]byte {
+		files := make(map[string][]byte, len(ns))
+		for name, f := range ns {
+			files[name] = append([]byte(nil), content(f)...)
+		}
+		return files
+	}
+	durableOnly := func(f *mfile) []byte { return f.durable }
+	torn := func(f *mfile) []byte {
+		if len(f.data) > len(f.durable) {
+			keep := len(f.durable) + (len(f.data)-len(f.durable))/2
+			return f.data[:keep]
+		}
+		return f.durable
+	}
+	zeroed := func(f *mfile) []byte {
+		if len(f.data) > len(f.durable) {
+			out := make([]byte, len(f.data))
+			copy(out, f.durable)
+			return out
+		}
+		return f.durable
+	}
+	flushed := func(f *mfile) []byte { return f.data }
+
+	mk := func(variant string, files map[string][]byte) CrashState {
+		return CrashState{
+			Desc:  fmt.Sprintf("cut after op %d, %s", cut, variant),
+			Cut:   cut,
+			Acked: append([]string(nil), acked...),
+			Files: files,
+		}
+	}
+	return []CrashState{
+		mk("strict (synced data, synced namespace)", snap(m.dur, durableOnly)),
+		mk("lax (synced data, full namespace)", snap(lax, durableOnly)),
+		mk("torn (half-flushed tails, synced namespace)", snap(m.dur, torn)),
+		mk("zeroed (zero tails, synced namespace)", snap(m.dur, zeroed)),
+		mk("flushed (all data, full namespace)", snap(lax, flushed)),
+	}
+}
+
+// CrashStates expands a recorded trace into every distinct durable state a
+// power cut could have left: five writeback variants per operation
+// boundary, deduplicated across boundaries.
+func CrashStates(trace []Op) []CrashState {
+	m := newFSModel()
+	seen := make(map[string]bool)
+	var out []CrashState
+	var acked []string
+	emit := func(cut int) {
+		for _, s := range m.states(cut, acked) {
+			if fp := fingerprint(s); !seen[fp] {
+				seen[fp] = true
+				out = append(out, s)
+			}
+		}
+	}
+	emit(0)
+	for i, op := range trace {
+		if op.Kind == OpNote {
+			acked = append(acked, op.Note)
+		} else {
+			m.apply(op)
+		}
+		emit(i + 1)
+	}
+	return out
+}
+
+// fingerprint hashes a state's files and ack set for deduplication.
+func fingerprint(s CrashState) string {
+	h := sha256.New()
+	names := make([]string, 0, len(s.Files))
+	for name := range s.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%s=%d:", name, len(s.Files[name]))
+		h.Write(s.Files[name])
+	}
+	fmt.Fprintf(h, "|acked=%d", len(s.Acked))
+	return string(h.Sum(nil))
+}
+
+// ForEachCrashState materializes every crash state of trace into a fresh
+// subdirectory of scratch and calls fn with it. The first error is returned
+// wrapped with the state's description, so a failing state is identifiable.
+func ForEachCrashState(trace []Op, scratch string, fn func(s CrashState, dir string) error) error {
+	for i, s := range CrashStates(trace) {
+		dir := filepath.Join(scratch, fmt.Sprintf("state%04d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		if err := s.Materialize(dir); err != nil {
+			return fmt.Errorf("materialize %s: %w", s.Desc, err)
+		}
+		if err := fn(s, dir); err != nil {
+			return fmt.Errorf("%s: %w", s.Desc, err)
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/ids"
 	"repro/internal/interconnect"
+	"repro/internal/iofault"
 	"repro/internal/memsys"
 	"repro/internal/stats"
 )
@@ -681,32 +682,43 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 // in the same directory, fsync it, rename over path, fsync the directory. A
 // crash leaves either the old file or the new one, never a torn mix.
 func WriteCheckpointFile(path string, ck *Checkpoint) error {
+	return WriteCheckpointFileFS(iofault.Real, path, ck)
+}
+
+// WriteCheckpointFileFS is WriteCheckpointFile writing through an explicit
+// filesystem seam (fault drills and crash-consistency tests inject one; nil
+// means the real OS). A failed directory sync is an error: until it
+// succeeds the rename is not durable, so the checkpoint must not be
+// reported (or journaled) as such.
+func WriteCheckpointFileFS(fsys iofault.FS, path string, ck *Checkpoint) error {
+	if fsys == nil {
+		fsys = iofault.Real
+	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".ckpt-*.tmp")
 	if err != nil {
 		return err
 	}
 	if err := EncodeCheckpoint(tmp, ck); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint %s: directory sync: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iofault"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// twoCheckpoints captures two distinct checkpoints from one run: the state
+// that gets overwritten and the state that overwrites it.
+func twoCheckpoints(t *testing.T) (a, b *Checkpoint) {
+	t.Helper()
+	mach := machine.NUMA16()
+	p := workload.Euler().Scale(0.1, 0.1, 0.25)
+	s := New(mach, core.MultiTMVLazy, workload.NewGenerator(p, 99))
+	var cks []*Checkpoint
+	s.SetAutoCheckpoint(3)
+	s.SetCheckpointSink(func(c *Checkpoint) {
+		if len(cks) < 2 {
+			cks = append(cks, c)
+		}
+	})
+	s.Run()
+	if len(cks) < 2 {
+		t.Fatalf("captured %d checkpoints, want 2", len(cks))
+	}
+	return cks[0], cks[1]
+}
+
+// ckptBytes is the encoded form, for identifying which checkpoint a crash
+// state holds.
+func ckptBytes(t *testing.T, ck *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A failed directory sync means the checkpoint's rename may not survive a
+// power cut, so WriteCheckpointFileFS must report it.
+func TestWriteCheckpointFilePropagatesDirSyncFailure(t *testing.T) {
+	a, _ := twoCheckpoints(t)
+	inj := iofault.NewInjector(iofault.Plan{Seed: 31})
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	inj.SetSyncFailures(1)
+	if err := WriteCheckpointFileFS(inj, path, a); err == nil {
+		t.Fatal("WriteCheckpointFileFS with failed directory sync reported success")
+	}
+}
+
+// Crash-consistency of checkpoint overwrite: writing checkpoint B over
+// checkpoint A must, in every crash state, leave either a valid A, a valid
+// B, or a cleanly-detected invalid file — never a silently-wrong state
+// accepted by ReadCheckpointFile.
+func TestCheckpointCrashConsistency(t *testing.T) {
+	a, b := twoCheckpoints(t)
+	wantA, wantB := ckptBytes(t, a), ckptBytes(t, b)
+
+	root := t.TempDir()
+	rec := iofault.NewRecorder(root)
+	path := filepath.Join(root, "job.ckpt")
+	if err := WriteCheckpointFileFS(rec, path, a); err != nil {
+		t.Fatal(err)
+	}
+	rec.Note("wrote:a")
+	if err := WriteCheckpointFileFS(rec, path, b); err != nil {
+		t.Fatal(err)
+	}
+	rec.Note("wrote:b")
+
+	err := iofault.ForEachCrashState(rec.Trace(), t.TempDir(), func(s iofault.CrashState, dir string) error {
+		p := filepath.Join(dir, "job.ckpt")
+		raw, statErr := os.ReadFile(p)
+		ck, err := ReadCheckpointFile(p)
+		acked := map[string]bool{}
+		for _, n := range s.Acked {
+			acked[n] = true
+		}
+		switch {
+		case err == nil:
+			// Whatever was read must be exactly A or exactly B.
+			got := ckptBytes(t, ck)
+			if !bytes.Equal(got, wantA) && !bytes.Equal(got, wantB) {
+				return fmt.Errorf("restored checkpoint matches neither written state (%d bytes)", len(got))
+			}
+			// After B's write is acknowledged (rename + dir sync durable),
+			// only B may be served.
+			if acked["wrote:b"] && !bytes.Equal(got, wantB) {
+				return fmt.Errorf("acked checkpoint B lost; stale A served")
+			}
+		case os.IsNotExist(statErr):
+			if acked["wrote:a"] || acked["wrote:b"] {
+				return fmt.Errorf("acked checkpoint vanished entirely")
+			}
+		default:
+			// A detected-invalid file is acceptable only before any write
+			// was acknowledged: the atomic-rename protocol never exposes a
+			// torn file once a write has returned.
+			if acked["wrote:a"] || acked["wrote:b"] {
+				return fmt.Errorf("acked checkpoint unreadable: %v (%d bytes on disk)", err, len(raw))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

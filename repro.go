@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/iofault"
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/obs"
@@ -284,6 +285,12 @@ func RenderFailureManifest(failures []JobFailure) string {
 // version, so a warm rerun only re-simulates what changed.
 func NewResultCache(dir string) (*ResultCache, error) { return exp.NewCache(dir) }
 
+// NewResultCacheFS is NewResultCache writing through an explicit filesystem
+// seam (storage fault drills inject one; nil means the real OS).
+func NewResultCacheFS(fsys iofault.FS, dir string) (*ResultCache, error) {
+	return exp.NewCacheFS(fsys, dir)
+}
+
 // Crash-safe campaigns: the journal WAL, its replayed digest, and the
 // graceful-shutdown controller behind the CLIs' -resume flags.
 type (
@@ -308,11 +315,20 @@ const (
 	RecCheckpoint   = exp.RecCheckpoint
 	RecJobDone      = exp.RecJobDone
 	ExitInterrupted = exp.ExitInterrupted
+	// ExitPowerCut is the exit code of a campaign killed by an injected
+	// storage fault plan's power cut (-io-chaos cut=N).
+	ExitPowerCut = exp.ExitPowerCut
 )
 
 // OpenJournal opens (creating if necessary) the campaign journal at path
 // for appending, truncating a torn final line left by a crashed writer.
 func OpenJournal(path string) (*Journal, error) { return exp.OpenJournal(path) }
+
+// OpenJournalFS is OpenJournal writing through an explicit filesystem seam
+// (storage fault drills inject one; nil means the real OS).
+func OpenJournalFS(fsys iofault.FS, path string) (*Journal, error) {
+	return exp.OpenJournalFS(fsys, path)
+}
 
 // LoadCampaign reads and replays the journal at path into the digest a
 // resumed campaign needs (completed job keys, latest checkpoints).
