@@ -4,7 +4,7 @@ GO ?= go
 # gate against a different one (make bench BENCH=BENCH_4.json).
 BENCH ?= BENCH_3.json
 
-.PHONY: build test fmt vet race race-short chaos cluster cluster-chaos fsck-drill verify report bench bench-baseline trace
+.PHONY: build test fmt vet race race-short chaos cluster cluster-chaos fsck-drill verify report bench bench-baseline trace fleet-trace
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ report:
 trace:
 	$(GO) run ./cmd/tlstrace -app Euler -machine cmp -perfetto trace.json
 	$(GO) run ./cmd/tlstrace -validate trace.json
+
+# fleet-trace is the fleet-observability drill: a loopback fleet (tlsserve
+# -trace + two tlsworker -trace) runs a figure grid, the coordinator writes
+# one merged Perfetto trace (pid per process, lease->attempt->complete
+# flow arrows) that tlstrace -validate must accept, /metrics must expose
+# the phase-latency histograms, and a panic-injection step must leave a
+# flight-recorder dump in the quarantine manifest.
+fleet-trace:
+	GO="$(GO)" sh ./scripts/fleet_trace_drill.sh
 
 # bench runs the tlsbench hot-path suite and gates allocs/op against the
 # checked-in baseline (±30% band); ns/op and events/sec are informational.

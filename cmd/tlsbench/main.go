@@ -26,10 +26,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/coherence"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/memsys"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 )
 
 // Measurement is one benchmark's result in the baseline file.
@@ -222,6 +225,104 @@ func printParallelSpeedup(ms []Measurement) {
 	}
 }
 
+// parallelLaneStats runs the parallel benchmark workload once outside the
+// timing harness and returns the PDES diagnostic counters, so a parallel
+// slowdown in the numbers above is localizable (stalling windows vs. lane
+// imbalance vs. prefetch misses) straight from tlsbench output.
+func parallelLaneStats() sim.ParallelStats {
+	prof := repro.Bdna().Scale(0.25, 0.25, 0.25)
+	s := repro.NewSimulator(repro.NUMA16(), repro.MultiTMVLazy, prof, 1)
+	s.SetParallel(runtime.GOMAXPROCS(0))
+	s.Run()
+	return s.ParallelStats()
+}
+
+func printLaneStats(st sim.ParallelStats) {
+	if st.Windows == 0 {
+		return
+	}
+	minF, maxF := st.LaneFired[0], st.LaneFired[0]
+	maxHi := 0
+	for i := range st.LaneFired {
+		if st.LaneFired[i] < minF {
+			minF = st.LaneFired[i]
+		}
+		if st.LaneFired[i] > maxF {
+			maxF = st.LaneFired[i]
+		}
+		if st.LaneHighWater[i] > maxHi {
+			maxHi = st.LaneHighWater[i]
+		}
+	}
+	hitRate := 0.0
+	if st.PrefetchHits+st.PrefetchMisses > 0 {
+		hitRate = 100 * float64(st.PrefetchHits) / float64(st.PrefetchHits+st.PrefetchMisses)
+	}
+	fmt.Printf("pdes lanes: %d lanes, window %d cycles, %d windows (%.1f%% stalled ≤1 event)\n",
+		len(st.LaneFired), st.WindowWidth, st.Windows,
+		100*float64(st.StallWindows)/float64(st.Windows))
+	fmt.Printf("pdes lanes: fired min %d / max %d per lane, peak lane occupancy %d, %d compactions\n",
+		minF, maxF, maxHi, st.Compactions)
+	fmt.Printf("pdes prefetch: %.1f%% hit (%d hit / %d miss), peak queue depth %d\n",
+		hitRate, st.PrefetchHits, st.PrefetchMisses, st.PrefetchDepthHighWater)
+}
+
+// HistoryRecord is one tlsbench run appended to the -history JSONL trend
+// file: everything a later plot needs to chart this host's performance over
+// time, including the PDES lane diagnostics of the parallel core.
+type HistoryRecord struct {
+	Unix       int64             `json:"unix"`
+	Go         string            `json:"go"`
+	MaxProcs   int               `json:"maxprocs"`
+	Benchmarks []Measurement     `json:"benchmarks"`
+	PDES       sim.ParallelStats `json:"pdes"`
+}
+
+// appendHistory appends rec as one JSONL line through the iofault
+// atomic-publish seam: the whole file is republished under a temp name and
+// renamed, so a crash mid-append can never leave a torn trend file.
+func appendHistory(path string, rec HistoryRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	data := append(prev, append(line, '\n')...)
+	return iofault.WriteFileAtomic(iofault.Real, path, data, 0o644)
+}
+
+// printDelta prints the one-line trend summary against the baseline: the
+// geometric-mean ns/op ratio across benchmarks both runs have, and the total
+// allocs/op difference. Informational, like all timing output.
+func printDelta(basePath string, baseline Baseline, cur []Measurement) {
+	byName := map[string]Measurement{}
+	for _, m := range baseline.Benchmarks {
+		byName[m.Name] = m
+	}
+	var logSum, allocDelta float64
+	n := 0
+	for _, m := range cur {
+		base, ok := byName[m.Name]
+		if !ok {
+			continue
+		}
+		if base.NsPerOp > 0 && m.NsPerOp > 0 {
+			logSum += math.Log(m.NsPerOp / base.NsPerOp)
+			n++
+		}
+		allocDelta += m.AllocsPerOp - base.AllocsPerOp
+	}
+	if n == 0 {
+		return
+	}
+	geo := math.Exp(logSum / float64(n))
+	fmt.Printf("delta vs %s: ns/op %+.1f%% (geomean over %d benchmarks), allocs/op %+.1f total\n",
+		basePath, 100*(geo-1), n, allocDelta)
+}
+
 // compare gates current allocs/op against the baseline. Returns the number
 // of violations.
 func compare(baseline Baseline, cur []Measurement, band float64) int {
@@ -280,6 +381,7 @@ func main() {
 		against  = flag.Bool("compare", false, "compare against the -baseline file; exit 1 outside the band")
 		band     = flag.Float64("band", 0.30, "guard band for the allocs/op comparison")
 		note     = flag.String("note", "", "note stored in the baseline file")
+		history  = flag.String("history", "", "append this run (timestamped, with PDES lane stats) to this JSONL trend file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -293,6 +395,32 @@ func main() {
 	defer stopProf()
 
 	cur := measure()
+	lanes := parallelLaneStats()
+	printLaneStats(lanes)
+
+	// Trend line: printed whenever the baseline is readable, gating or not.
+	if data, err := os.ReadFile(*basePath); err == nil {
+		var baseline Baseline
+		if json.Unmarshal(data, &baseline) == nil {
+			printDelta(*basePath, baseline, cur)
+		}
+	}
+
+	if *history != "" {
+		rec := HistoryRecord{
+			Unix:       time.Now().Unix(),
+			Go:         runtime.Version(),
+			MaxProcs:   runtime.GOMAXPROCS(0),
+			Benchmarks: cur,
+			PDES:       lanes,
+		}
+		if err := appendHistory(*history, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsbench: history: %v\n", err)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Printf("history appended to %s\n", *history)
+	}
 
 	if *out {
 		doc := Baseline{

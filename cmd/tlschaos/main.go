@@ -50,6 +50,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/iofault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -225,7 +226,7 @@ func main() {
 			fatalf("listen: %v", err)
 		}
 		defer tel.Stop()
-		fmt.Fprintf(os.Stderr, "tlschaos: telemetry on http://%s/metrics\n", addr)
+		chaosLog.Info("telemetry serving", "url", "http://"+addr+"/metrics")
 	}
 
 	journalPath := *journalF
@@ -291,24 +292,23 @@ func main() {
 			if err != nil {
 				fatalf("-chaos-net: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "tlschaos: chaos-net armed on the client transport: %s\n", ccfg)
-			hc = chaosnet.Client(hc, chaosnet.New(ccfg), "tlschaos", func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
-			})
+			chaosLog.Info("chaos-net armed on the client transport", "profile", ccfg)
+			hc = chaosnet.Client(hc, chaosnet.New(ccfg), "tlschaos",
+				obs.Logf(chaosLog.With("subsys", "chaos-net")))
 		}
 		outcomes = runFleet(sd.Context(), cases, cfg, selection, flips, *coordF, hc)
 	} else {
 		if *chaosNet != "" {
-			fmt.Fprintln(os.Stderr, "tlschaos: -chaos-net only applies with -coordinator, ignoring")
+			chaosLog.Warn("-chaos-net only applies with -coordinator, ignoring")
 		}
 		outcomes = runAll(sd.Context(), cmp, cases, cfg, selection, flips, *timeout, *jobs)
 	}
 
 	if sd.Interrupted() {
 		if journalPath != "" {
-			fmt.Fprintf(os.Stderr, "tlschaos: interrupted; resume with -resume %s\n", journalPath)
+			chaosLog.Info("interrupted", "resume_with", journalPath)
 		} else {
-			fmt.Fprintln(os.Stderr, "tlschaos: interrupted (run with -journal to make campaigns resumable)")
+			chaosLog.Info("interrupted (run with -journal to make campaigns resumable)")
 		}
 		os.Exit(exp.ExitInterrupted)
 	}
@@ -325,8 +325,8 @@ func main() {
 		}
 		if o.failed(flips) {
 			failures = append(failures, toRecord(o, cfg.Name, *machineF, *faultsF, selection))
-			fmt.Fprintf(os.Stderr, "tlschaos: FAIL seed %d %v: %s\n",
-				o.Case.Seed, o.Case.Scheme, verdict(o))
+			chaosLog.Error("case failed", "seed", o.Case.Seed,
+				"scheme", o.Case.Scheme.String(), "verdict", verdict(o))
 		}
 	}
 
@@ -341,15 +341,15 @@ func main() {
 	if flips && detections == 0 && faults > 0 {
 		// A corruption drill that injects flips nobody notices means the
 		// checker is broken — that IS the failure.
-		fmt.Fprintln(os.Stderr, "tlschaos: flip-tag campaign injected faults but detected no corruption")
+		chaosLog.Error("flip-tag campaign injected faults but detected no corruption")
 		os.Exit(1)
 	}
 	if len(failures) > 0 {
 		if *recordF != "" {
 			if err := writeRecords(*recordF, failures); err != nil {
-				fmt.Fprintf(os.Stderr, "tlschaos: recording failures: %v\n", err)
+				chaosLog.Error("recording failures", "err", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "tlschaos: wrote %d failing case(s) to %s\n", len(failures), *recordF)
+				chaosLog.Info("recorded failing cases", "n", len(failures), "path", *recordF)
 			}
 		}
 		os.Exit(1)
@@ -615,9 +615,7 @@ func runFleet(ctx context.Context, cases []chaosCase, cfg *machine.Config,
 		Progress: func(jr exp.JobResult) {
 			chaosDone.Add(1)
 		},
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
-		}}
+		Logf: obs.Logf(chaosLog.With("subsys", "fleet"))}
 	results, err := client.RunBatch(ctx, jobs)
 	interrupted := err != nil && ctx.Err() != nil
 	out := make([]outcome, len(cases))
@@ -637,24 +635,24 @@ func runFleet(ctx context.Context, cases []chaosCase, cfg *machine.Config,
 func replayRecords(path string, deadline time.Duration) int {
 	records, err := readRecords(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tlschaos: %v\n", err)
+		chaosLog.Error("reading records", "err", err)
 		return 2
 	}
 	failing := 0
 	for _, rec := range records {
 		cfg, ok := machineByName(rec.Machine)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: unknown machine %q\n", path, rec.Machine)
+			chaosLog.Error("recording: unknown machine", "path", path, "machine", rec.Machine)
 			return 2
 		}
 		sch, ok := core.SchemeFromString(rec.Scheme)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: unknown scheme %q\n", path, rec.Scheme)
+			chaosLog.Error("recording: unknown scheme", "path", path, "scheme", rec.Scheme)
 			return 2
 		}
 		selection, flips, err := parseFaults(rec.Faults)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlschaos: recording %s: %v\n", path, err)
+			chaosLog.Error("recording: bad faults", "path", path, "err", err)
 			return 2
 		}
 		c := chaosCase{Seed: rec.Seed, Scheme: sch}
@@ -775,7 +773,11 @@ func writeRecords(path string, rs []record) error {
 	return iofault.WriteFileAtomic(iofault.Real, path, append(data, '\n'), 0o644)
 }
 
+// chaosLog is the process-wide structured logger; tlschaos has no single
+// campaign object to hang it on, so it lives at package scope.
+var chaosLog = obs.NewLogger(os.Stderr, "tlschaos")
+
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tlschaos: "+format+"\n", args...)
+	chaosLog.Error(fmt.Sprintf(format, args...))
 	os.Exit(2)
 }

@@ -31,6 +31,8 @@ import (
 	"repro/internal/cluster/chaosnet"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -51,6 +53,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload seed for -grid")
 		exitDone  = flag.Bool("exit-when-done", false, "exit 0 once every submitted job has a final outcome")
 		name      = flag.String("name", "tlsserve", "campaign name (journal header, dashboard)")
+		traceF    = flag.String("trace", "", "write the merged fleet Perfetto trace to this file at exit (workers need -trace to contribute lanes)")
 
 		maxPending  = flag.Int("max-pending", 0, "bound the pending queue; excess submissions are shed with 429 + Retry-After (0 = unbounded)")
 		submitRate  = flag.Float64("submit-rate", 0, "per-client submit admission: job tokens per second (0 = unlimited)")
@@ -62,9 +65,10 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, "tlsserve")
 	die := func(context string, err error) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlsserve: %s: %v\n", context, err)
+			logger.Error(context, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -85,6 +89,9 @@ func main() {
 		die("cache", err)
 		cfg.Cache = cache
 	}
+	if *traceF != "" {
+		cfg.Tracer = trace.New("coordinator")
+	}
 
 	journalPath := *journalF
 	if *resumeF != "" {
@@ -92,10 +99,11 @@ func main() {
 		st, err := exp.LoadCampaign(*resumeF)
 		die("resume", err)
 		cfg.State = st
-		fmt.Fprintf(os.Stderr, "tlsserve: resuming %s: %d jobs done, %d dangling leases\n",
-			*resumeF, len(st.Done), len(st.Leases))
+		logger.Info("resuming campaign from WAL",
+			"journal", *resumeF, "campaign", st.Campaign,
+			"done", len(st.Done), "dangling_leases", len(st.Leases))
 		if *cacheDir == "" {
-			fmt.Fprintln(os.Stderr, "tlsserve: -resume without -cache re-runs completed non-chaotic jobs")
+			logger.Warn("-resume without -cache re-runs completed non-chaotic jobs")
 		}
 	}
 	if journalPath != "" {
@@ -106,31 +114,45 @@ func main() {
 	}
 
 	co := cluster.NewCoordinator(cfg)
+	logger = logger.With("campaign", co.Campaign())
 	ln, err := net.Listen("tcp", *listen)
 	die("listen", err)
 	addr := ln.Addr().String()
 	if *chaosNet != "" {
 		ccfg, err := chaosnet.Profile(*chaosNet, *chaosSeed)
 		die("chaos-net", err)
-		fmt.Fprintf(os.Stderr, "tlsserve: chaos-net armed: %s\n", ccfg)
+		logger.Info("chaos-net armed", "profile", ccfg)
 		ln = &chaosnet.Listener{
 			Listener: ln,
 			Plan:     chaosnet.New(ccfg),
 			Self:     "coordinator",
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "tlsserve: "+format+"\n", args...)
-			},
+			Logf:     obs.Logf(logger.With("subsys", "chaos-net")),
 		}
 	}
 	co.Serve(ln)
+	// Stdout, not the structured log: the drill scripts and humans alike
+	// parse this line for the bound address.
 	fmt.Printf("tlsserve: listening on http://%s\n", addr)
+	logger.Info("serving", "addr", addr)
 
 	if *gridF != "" {
 		specs, err := gridSpecs(*gridF, *schemesF, *appsF, *seed)
 		die("grid", err)
 		resp := co.Preload(specs)
-		fmt.Fprintf(os.Stderr, "tlsserve: preloaded %d grid jobs (%d already done)\n",
-			resp.Accepted, resp.Done)
+		logger.Info("preloaded grid campaign", "jobs", resp.Accepted, "already_done", resp.Done)
+	}
+
+	// writeTrace exports the merged fleet trace (coordinator lanes plus every
+	// span shipped home on heartbeats and completions) once the campaign ends.
+	writeTrace := func() {
+		if *traceF == "" {
+			return
+		}
+		if err := co.WriteFleetTrace(nil, *traceF); err != nil {
+			logger.Error("fleet trace", "err", err)
+			return
+		}
+		logger.Info("fleet trace written", "path", *traceF)
 	}
 
 	// First SIGINT/SIGTERM stops serving and flushes the journal (exit 130);
@@ -145,7 +167,8 @@ func main() {
 		select {
 		case <-sd.Context().Done():
 			co.Stop()
-			fmt.Fprintf(os.Stderr, "tlsserve: interrupted; resume with -resume %s\n", journalPath)
+			writeTrace()
+			logger.Info("interrupted", "resume_with", journalPath)
 			sd.Stop()
 			os.Exit(exp.ExitInterrupted)
 		case <-tick.C:
@@ -155,7 +178,8 @@ func main() {
 			n := co.Counts()
 			if n.Total > 0 && n.Pending == 0 && n.Leased == 0 {
 				co.Stop()
-				fmt.Fprintf(os.Stderr, "tlsserve: campaign complete: %d done, %d failed\n", n.Done, n.Failed)
+				writeTrace()
+				logger.Info("campaign complete", "done", n.Done, "failed", n.Failed)
 				if n.Failed > 0 {
 					os.Exit(1)
 				}

@@ -20,7 +20,6 @@ package main
 import (
 	"encoding/csv"
 	"flag"
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/iofault"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,16 +54,17 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, "tlssweep")
 	die := func(err error) {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlssweep: %v\n", err)
+			logger.Error("fatal", "err", err)
 			os.Exit(1)
 		}
 	}
 
 	base, ok := repro.AppByName(*appName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tlssweep: unknown application %q\n", *appName)
+		logger.Error("unknown application", "app", *appName)
 		os.Exit(2)
 	}
 	base = base.Scale(*tasks, *instr, 0.25)
@@ -72,7 +73,7 @@ func main() {
 	for _, name := range strings.Split(*schemesF, ";") {
 		s, ok := repro.SchemeFromString(strings.TrimSpace(name))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tlssweep: unknown scheme %q\n", name)
+			logger.Error("unknown scheme", "scheme", name)
 			os.Exit(2)
 		}
 		schemes = append(schemes, s)
@@ -82,7 +83,7 @@ func main() {
 	for _, v := range strings.Split(*values, ",") {
 		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlssweep: bad value %q: %v\n", v, err)
+			logger.Error("bad sweep value", "value", v, "err", err)
 			os.Exit(2)
 		}
 		vals = append(vals, f)
@@ -117,7 +118,7 @@ func main() {
 		case "sharedreads":
 			prof.SharedReadFrac = v
 		default:
-			fmt.Fprintf(os.Stderr, "tlssweep: unknown parameter %q\n", *param)
+			logger.Error("unknown parameter", "param", *param)
 			os.Exit(2)
 		}
 		points = append(points, point{value: v, prof: prof, mach: mach})
@@ -137,18 +138,16 @@ func main() {
 		plan, err := iofault.ParsePlan(*ioChaos)
 		die(err)
 		inj := iofault.NewInjector(plan)
-		inj.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tlssweep: "+format+"\n", args...)
-		}
+		inj.Logf = obs.Logf(logger.With("subsys", "iofault"))
 		// Die exactly as a power loss would: no flushing, no cleanup. The
 		// cut has already rewritten the disk to a legal crash state.
 		inj.OnCut = func() {
-			fmt.Fprintln(os.Stderr, "tlssweep: simulated power cut; verify state with tlsfsck, then -resume")
+			logger.Warn("simulated power cut; verify state with tlsfsck, then -resume")
 			os.Exit(repro.ExitPowerCut)
 		}
 		fsys = inj
 		runner.FS = fsys
-		fmt.Fprintf(os.Stderr, "tlssweep: storage fault injection active (%s)\n", plan)
+		logger.Info("storage fault injection active", "plan", plan)
 	}
 	if *listenF != "" {
 		runner.Metrics = new(repro.RunMetrics)
@@ -167,7 +166,7 @@ func main() {
 		addr, err := tel.Start(*listenF)
 		die(err)
 		defer tel.Stop()
-		fmt.Fprintf(os.Stderr, "tlssweep: telemetry on http://%s/metrics\n", addr)
+		logger.Info("telemetry serving", "url", "http://"+addr+"/metrics")
 	}
 	if *cacheDir != "" {
 		cache, err := repro.NewResultCacheFS(fsys, *cacheDir)
@@ -187,7 +186,7 @@ func main() {
 		die(err)
 		runner.Resume = st.Checkpoints
 		if *cacheDir == "" {
-			fmt.Fprintln(os.Stderr, "tlssweep: -resume without -cache re-runs completed jobs")
+			logger.Warn("-resume without -cache re-runs completed jobs")
 		}
 	}
 	if journalPath != "" {
@@ -214,18 +213,16 @@ func main() {
 		client := &cluster.Client{URL: *coordF, Name: cluster.ClientName("tlssweep"),
 			Progress:   runner.Progress,
 			RPCTimeout: *rpcT, DialTimeout: *dialT,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "tlssweep: "+format+"\n", args...)
-			}}
+			Logf: obs.Logf(logger.With("subsys", "fleet"))}
 		results, err = client.RunBatch(sd.Context(), jobs)
 	} else {
 		results, err = runner.RunBatch(sd.Context(), jobs)
 	}
 	if sd.Interrupted() {
 		if journalPath != "" {
-			fmt.Fprintf(os.Stderr, "tlssweep: interrupted; resume with -resume %s\n", journalPath)
+			logger.Info("interrupted", "resume_with", journalPath)
 		} else {
-			fmt.Fprintln(os.Stderr, "tlssweep: interrupted (run with -journal to make sweeps resumable)")
+			logger.Info("interrupted (run with -journal to make sweeps resumable)")
 		}
 		os.Exit(repro.ExitInterrupted)
 	}

@@ -76,8 +76,8 @@ func validateFile(w io.Writer, path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%s: valid trace-event JSON: %d events (%d slices on %d exec lanes, %d counter events on %d tracks, %d squash flows)\n",
-		path, st.Events, st.Slices, st.ExecLanes, st.CounterEvents, st.CounterTracks, st.FlowStarts)
+	fmt.Fprintf(w, "%s: valid trace-event JSON: %d events (%d processes, %d slices on %d exec lanes, %d counter events on %d tracks, %d flows, %d span IDs)\n",
+		path, st.Events, st.Processes, st.Slices, st.ExecLanes, st.CounterEvents, st.CounterTracks, st.FlowStarts, st.SpanIDs)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cluster/chaosnet"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		timeout  = flag.Duration("job-timeout", 0, "per-job watchdog deadline (0 disables)")
 		retries  = flag.Int("retries", 1, "per-job panic-retry budget")
 		observe  = flag.Bool("observe", false, "attach an obs registry to every job and report counters on heartbeats")
+		traceF   = flag.Bool("trace", false, "record attempt/retry/checkpoint spans and ship them to the coordinator's fleet trace")
 		ckptDir  = flag.String("checkpoint-dir", "", "mid-run simulator checkpoint directory")
 		ckptN    = flag.Int("checkpoint-every", 50, "auto-checkpoint cadence in committed tasks (0 = only at interrupts)")
 		drain    = flag.Bool("drain", true, "on the first signal, drain gracefully: interrupt in-flight simulations, release leases, exit 130")
@@ -67,9 +69,8 @@ func main() {
 	if *metricsF {
 		metrics = new(exp.Metrics)
 	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tlsworker: "+format+"\n", args...)
-	}
+	logger := obs.NewLogger(os.Stderr, "tlsworker", "worker", wname)
+	logf := obs.Logf(logger)
 	wcfg := cluster.WorkerConfig{
 		Name:            wname,
 		Coordinator:     *coord,
@@ -80,6 +81,7 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptN,
 		Observe:         *observe,
+		Trace:           *traceF,
 		Metrics:         metrics,
 		RPCTimeout:      *rpcTimeout,
 		DialTimeout:     *dialTimeout,
@@ -88,12 +90,13 @@ func main() {
 	if *chaosNet != "" {
 		ccfg, err := chaosnet.Profile(*chaosNet, *chaosSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tlsworker: -chaos-net: %v\n", err)
+			logger.Error("-chaos-net", "err", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "tlsworker: chaos-net armed: %s\n", ccfg)
+		logger.Info("chaos-net armed", "profile", ccfg)
 		wcfg.HTTP = chaosnet.Client(
-			cluster.HTTPClient(*dialTimeout, *rpcTimeout), chaosnet.New(ccfg), wname, logf)
+			cluster.HTTPClient(*dialTimeout, *rpcTimeout), chaosnet.New(ccfg), wname,
+			obs.Logf(logger.With("subsys", "chaos-net")))
 	}
 	w := cluster.NewWorker(wcfg)
 
@@ -109,18 +112,18 @@ func main() {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "tlsworker: %s pulling from %s (%d slots)\n", wname, *coord, *jobs)
+	logger.Info("pulling", "coordinator", *coord, "slots", *jobs)
 	err := w.Run(sd.Context())
 	if metrics != nil {
 		fmt.Fprintln(os.Stderr, "tlsworker "+metrics.Snapshot().String())
 	}
 	if sd.Interrupted() {
-		fmt.Fprintf(os.Stderr, "tlsworker: %s drained\n", wname)
+		logger.Info("drained")
 		sd.Stop()
 		os.Exit(exp.ExitInterrupted)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tlsworker: %v\n", err)
+		logger.Error("run", "err", err)
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/iofault"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Config parameterizes a Coordinator. The zero value works for tests: no
@@ -63,6 +66,14 @@ type Config struct {
 	QuarantineFor      time.Duration
 	BreakerCRCLimit    int
 	BreakerExpiryLimit int
+	// Tracer, when non-nil, records the coordinator's scheduling decisions
+	// (queue waits, lease holds, straggler re-issues, completions) as fleet
+	// spans. Workers' spans shipped on heartbeats and completions are
+	// collected regardless, so WriteFleetTrace can merge the whole fleet.
+	Tracer *trace.Tracer
+	// Campaign overrides the minted campaign correlation ID (tests, resume
+	// of a known campaign). Empty mints one from Name at first submission.
+	Campaign string
 }
 
 func (c Config) leaseTTL() time.Duration {
@@ -160,6 +171,7 @@ type jobEntry struct {
 
 	state       jobState
 	queued      bool // present in the pending queue
+	queuedAt    time.Time
 	leases      map[uint64]*lease
 	issues      int  // leases ever granted
 	failures    int  // failed executions so far
@@ -176,6 +188,7 @@ type lease struct {
 	key         string
 	worker      string
 	deadline    time.Time
+	grantedAt   time.Time
 	speculative bool
 }
 
@@ -266,25 +279,77 @@ type Coordinator struct {
 	buckets  map[string]*bucketState // per-client submit admission
 	ctr      fleetCounters
 
+	campaign string // correlation ID minted at first submission
+
+	// Phase-latency histograms (ms), always on: queue wait (submit to first
+	// grant), lease hold (grant to settle), attempt wall (worker-reported)
+	// and result delivery (attempt finish to coordinator ingest). The
+	// registry is single-goroutine by contract, so it lives under mu.
+	phases     *obs.Registry
+	queueWait  *obs.Histogram
+	leaseHold  *obs.Histogram
+	attempt    *obs.Histogram
+	delivery   *obs.Histogram
+	fleetSpans []trace.Span // spans shipped by workers, bounded
+	spansLost  uint64       // worker spans dropped by the bound
+
 	ln   net.Listener
 	srv  *http.Server
 	stop chan struct{}
 }
 
+// phaseBuckets are the phase-latency histogram bounds in milliseconds: fine
+// enough to separate loopback microseconds from straggler minutes.
+var phaseBuckets = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 120000}
+
+// maxFleetSpans bounds the coordinator's merged span store; a long campaign
+// past the bound keeps the earliest spans and counts the drops.
+const maxFleetSpans = 1 << 17
+
 // NewCoordinator builds a coordinator and journals the campaign header.
 func NewCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{
-		cfg:     cfg,
-		now:     time.Now,
-		jobs:    make(map[string]*jobEntry),
-		leases:  make(map[uint64]*lease),
-		workers: make(map[string]*workerState),
-		buckets: make(map[string]*bucketState),
+		cfg:      cfg,
+		now:      time.Now,
+		jobs:     make(map[string]*jobEntry),
+		leases:   make(map[uint64]*lease),
+		workers:  make(map[string]*workerState),
+		buckets:  make(map[string]*bucketState),
+		campaign: cfg.Campaign,
+		phases:   obs.NewRegistry(),
 	}
+	c.queueWait = c.phases.Histogram("queue_wait_ms", phaseBuckets)
+	c.leaseHold = c.phases.Histogram("lease_hold_ms", phaseBuckets)
+	c.attempt = c.phases.Histogram("attempt_wall_ms", phaseBuckets)
+	c.delivery = c.phases.Histogram("result_delivery_ms", phaseBuckets)
+	// The coordinator's own spans must survive until FleetSpans merges them.
+	cfg.Tracer.Retain()
 	if cfg.Journal != nil && cfg.Name != "" {
+		c.cfg.Journal.SetCampaign(c.campaignLocked())
 		c.journalAppend(exp.JournalRecord{T: exp.RecCampaign, Name: cfg.Name})
 	}
 	return c
+}
+
+// campaignLocked returns the campaign correlation ID, minting it on first
+// use so every spec, span and journal record of this campaign carries one
+// shared ID.
+func (c *Coordinator) campaignLocked() string {
+	if c.campaign == "" {
+		name := c.cfg.Name
+		if name == "" {
+			name = "campaign"
+		}
+		c.campaign = trace.MintCampaign(name, c.now())
+	}
+	return c.campaign
+}
+
+// Campaign returns the campaign correlation ID (minting it if needed).
+func (c *Coordinator) Campaign() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.campaignLocked()
 }
 
 func (c *Coordinator) journalAppend(rec exp.JournalRecord) {
@@ -394,6 +459,10 @@ func (c *Coordinator) submitLocked(specs []JobSpec, admit bool) (SubmitResponse,
 			c.ctr.shedSubmits++
 			return resp, &OverloadError{RetryAfter: time.Second}
 		}
+		// Stamp the campaign correlation ID. Campaign is not part of the
+		// content hash, so the stamp cannot invalidate spec.Key; it rides the
+		// wire into worker spans and journal records.
+		spec.Campaign = c.campaignLocked()
 		e := &jobEntry{spec: spec, job: job, leases: make(map[uint64]*lease)}
 		c.jobs[spec.Key] = e
 		c.order = append(c.order, spec.Key)
@@ -448,6 +517,7 @@ func (c *Coordinator) enqueueLocked(e *jobEntry) {
 		return
 	}
 	e.queued = true
+	e.queuedAt = c.now()
 	c.queue = append(c.queue, e.spec.Key)
 }
 
@@ -482,7 +552,12 @@ func (c *Coordinator) LeaseJobs(req LeaseRequest) LeaseResponse {
 	if len(resp.Leases) == 0 && c.cfg.stealAfter() > 0 && w.brk.phase == breakerClosed {
 		if e := c.stealCandidateLocked(req.Worker); e != nil {
 			c.ctr.steals++
-			resp.Leases = append(resp.Leases, c.grantLocked(e, req.Worker))
+			granted := c.grantLocked(e, req.Worker)
+			c.cfg.Tracer.Instant(trace.Span{
+				Name: e.label(), Kind: trace.KindSteal, Campaign: c.campaignLocked(),
+				Key: e.spec.Key, Flow: granted.ID, Note: req.Worker,
+			})
+			resp.Leases = append(resp.Leases, granted)
 		}
 	}
 	if w.brk.phase == breakerHalfOpen && len(resp.Leases) == 1 {
@@ -559,6 +634,7 @@ func (c *Coordinator) grantLocked(e *jobEntry, worker string) Lease {
 		key:         e.spec.Key,
 		worker:      worker,
 		deadline:    now.Add(c.cfg.leaseTTL()),
+		grantedAt:   now,
 		speculative: len(e.leases) > 0,
 	}
 	c.leases[l.id] = l
@@ -569,10 +645,36 @@ func (c *Coordinator) grantLocked(e *jobEntry, worker string) Lease {
 	}
 	e.state = jobLeased
 	c.ctr.leasesGranted++
+	if !e.queuedAt.IsZero() {
+		wait := now.Sub(e.queuedAt)
+		c.queueWait.Observe(uint64(wait.Milliseconds()))
+		c.cfg.Tracer.Emit(trace.Span{
+			Name: e.label(), Kind: trace.KindQueue, Campaign: c.campaignLocked(),
+			Key: l.key, Flow: l.id,
+			Start: trace.UnixMicro(e.queuedAt), Dur: wait.Microseconds(),
+		})
+		e.queuedAt = time.Time{} // a steal grant must not re-measure this wait
+	}
 	c.journalAppend(exp.JournalRecord{
 		T: exp.RecLease, Key: l.key, Label: e.label(), Worker: worker, Lease: l.id,
 	})
 	return Lease{ID: l.id, Spec: e.spec, TTLMS: c.cfg.leaseTTL().Milliseconds(), Speculative: l.speculative}
+}
+
+// settleLeaseLocked records the end of one lease's life in the phase
+// histograms and the span stream: how is "complete", "released" or
+// "expired"; errText annotates an unhappy ending.
+func (c *Coordinator) settleLeaseLocked(l *lease, how, errText string) {
+	if l.grantedAt.IsZero() {
+		return
+	}
+	hold := c.now().Sub(l.grantedAt)
+	c.leaseHold.Observe(uint64(hold.Milliseconds()))
+	c.cfg.Tracer.Emit(trace.Span{
+		Name: how, Kind: trace.KindLease, Campaign: c.campaignLocked(),
+		Key: l.key, Flow: l.id, Err: errText, Note: l.worker,
+		Start: trace.UnixMicro(l.grantedAt), Dur: hold.Microseconds(),
+	})
 }
 
 func (e *jobEntry) label() string { return e.job.Label() }
@@ -624,9 +726,22 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	if req.Counters != nil {
 		w.counters = req.Counters
 	}
+	c.ingestSpansLocked(req.Spans)
 	resp := HeartbeatResponse{Cancel: w.cancel}
 	w.cancel = nil
 	return resp
+}
+
+// ingestSpansLocked folds worker-shipped spans into the merged fleet store,
+// bounded so a runaway worker cannot exhaust coordinator memory.
+func (c *Coordinator) ingestSpansLocked(spans []trace.Span) {
+	for i, sp := range spans {
+		if len(c.fleetSpans) >= maxFleetSpans {
+			c.spansLost += uint64(len(spans) - i)
+			return
+		}
+		c.fleetSpans = append(c.fleetSpans, sp)
+	}
 }
 
 // Complete ingests one lease's sealed outcome. The first valid result wins;
@@ -639,8 +754,10 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	w := c.touchWorkerLocked(req.Worker)
 	e := c.jobs[req.Key]
 	if l := c.leases[req.Lease]; l != nil && l.key == req.Key {
+		c.settleLeaseLocked(l, "complete", "")
 		c.dropLeaseLocked(l)
 	}
+	c.ingestSpansLocked(req.Spans)
 	// CRC-validate before the entry check: a corrupted body can flip the
 	// outer req.Key too (unknown entry), and that must still count against
 	// the sender's breaker rather than vanish.
@@ -667,6 +784,22 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 		w.brk.probation = 0
 		c.ctr.breakerCloses++
 	}
+	// Phase latencies for every CRC-valid delivery: the attempt wall the
+	// worker measured, and how long the sealed result took to reach us.
+	now := c.now()
+	if o.WallMS > 0 {
+		c.attempt.Observe(uint64(o.WallMS))
+	}
+	if req.FinishedUS > 0 {
+		if lag := now.UnixMicro() - req.FinishedUS; lag >= 0 {
+			c.delivery.Observe(uint64(lag / 1000))
+		}
+	}
+	c.cfg.Tracer.Emit(trace.Span{
+		Name: e.label(), Kind: trace.KindComplete, Campaign: c.campaignLocked(),
+		Key: req.Key, Flow: req.Lease, Note: req.Worker, Err: o.Err,
+		Start: trace.UnixMicro(now),
+	})
 	if e.state == jobDone || e.state == jobFailed {
 		c.ctr.dupResults++
 		return CompleteResponse{Accepted: true, Duplicate: true}
@@ -748,6 +881,7 @@ func (c *Coordinator) Release(req ReleaseRequest) {
 			// a failure; free the probation slot for the next lease request.
 			w.brk.probation = 0
 		}
+		c.settleLeaseLocked(l, "released", "")
 		c.dropLeaseLocked(l)
 		c.ctr.leasesReturned++
 		e := c.jobs[l.key]
@@ -811,6 +945,7 @@ func (c *Coordinator) sweepLocked() {
 	for _, l := range c.leases {
 		if now.After(l.deadline) {
 			key, id, worker := l.key, l.id, l.worker
+			c.settleLeaseLocked(l, "expired", "lease expired")
 			c.dropLeaseLocked(l)
 			c.ctr.leasesExpired++
 			// Attribute the expiry to the worker's breaker: a probe lease
@@ -846,6 +981,10 @@ func (c *Coordinator) sweepLocked() {
 			}
 			e.reissued = true
 			c.ctr.stragglerReissues++
+			c.cfg.Tracer.Instant(trace.Span{
+				Name: e.label(), Kind: trace.KindStraggler, Campaign: c.campaignLocked(),
+				Key: key, Note: "speculative re-issue",
+			})
 			c.enqueueLocked(e)
 		}
 	}
@@ -983,6 +1122,12 @@ func (c *Coordinator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, ws := range c.workers {
 		obs.MergeCounters(sums, ws.counters)
 	}
+	// Render the phase-latency histograms while still holding mu (the
+	// registry is single-goroutine by contract), emit after unlock.
+	var phases bytes.Buffer
+	c.phases.WritePrometheus(&phases, "tls_fleet_")
+	spansCollected := len(c.fleetSpans)
+	spansLost := c.spansLost
 	c.mu.Unlock()
 
 	obs.PromMetric(w, "tls_fleet_jobs_total", "gauge", float64(n.Total))
@@ -1011,6 +1156,9 @@ func (c *Coordinator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.PromMetric(w, "tls_fleet_breaker_opens", "counter", float64(ctr.breakerOpens))
 	obs.PromMetric(w, "tls_fleet_breaker_probations", "counter", float64(ctr.breakerProbations))
 	obs.PromMetric(w, "tls_fleet_breaker_closes", "counter", float64(ctr.breakerCloses))
+	obs.PromMetric(w, "tls_fleet_spans_collected", "gauge", float64(spansCollected))
+	obs.PromMetric(w, "tls_fleet_spans_lost", "counter", float64(spansLost))
+	w.Write(phases.Bytes())
 
 	// Fleet-aggregated per-run obs counters, sorted for a stable scrape.
 	names := make([]string, 0, len(sums))
@@ -1145,6 +1293,38 @@ func (c *Coordinator) sweepEvery() time.Duration {
 		d = time.Second
 	}
 	return d
+}
+
+// FleetSpans returns the merged fleet span set: the coordinator's own
+// retained spans plus every span workers shipped on heartbeats and
+// completions. The copy is safe to export or inspect after Stop.
+func (c *Coordinator) FleetSpans() []trace.Span {
+	spans := c.cfg.Tracer.Drain()
+	c.cfg.Tracer.Requeue(spans) // keep exportable again later
+	c.mu.Lock()
+	out := make([]trace.Span, 0, len(spans)+len(c.fleetSpans))
+	out = append(out, spans...)
+	out = append(out, c.fleetSpans...)
+	c.mu.Unlock()
+	return out
+}
+
+// WriteFleetTrace exports the merged fleet Perfetto trace to path through
+// the iofault seam (nil fsys = the real filesystem), atomically published so
+// a crash mid-export never leaves a torn trace file.
+func (c *Coordinator) WriteFleetTrace(fsys iofault.FS, path string) error {
+	if fsys == nil {
+		fsys = iofault.Real
+	}
+	spans := c.FleetSpans()
+	if len(spans) == 0 {
+		return fmt.Errorf("cluster: no fleet spans collected (is tracing enabled on the coordinator and workers?)")
+	}
+	var buf bytes.Buffer
+	if err := trace.ExportPerfetto(&buf, c.cfg.Tracer.Proc(), spans); err != nil {
+		return err
+	}
+	return iofault.WriteFileAtomic(fsys, path, buf.Bytes(), 0o644)
 }
 
 // Stop closes the listener and halts the sweeper. Safe without a prior Start.

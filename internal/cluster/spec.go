@@ -44,6 +44,12 @@ type JobSpec struct {
 	// Key is the sender's Job.Key(): the job identity everything else in
 	// the fabric (leases, cache, journal, results) is keyed by.
 	Key string `json:"key"`
+	// Campaign is the campaign correlation ID stamped by the coordinator at
+	// submission. Like Obs it is deliberately NOT part of the job identity —
+	// Job() ignores it, so the same job re-submitted under a new campaign
+	// still dedupes and cache-hits — but it rides every lease so worker
+	// spans, journal records and quarantine manifests name their campaign.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // SpecOf converts a job to its wire form. Obs deliberately does not travel:

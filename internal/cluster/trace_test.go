@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/obs/trace"
+	"repro/internal/report"
+)
+
+// TestFleetTraceLoopback runs a batch on a traced loopback fleet (traced
+// coordinator, two tracing workers) and checks the whole observability
+// chain: results stay DeepEqual-identical to an untraced serial run, the
+// merged Perfetto export validates with one pid per fleet process and
+// lease→attempt→complete flow arrows, every span carries the campaign ID,
+// and the phase-latency histograms show up on /metrics.
+func TestFleetTraceLoopback(t *testing.T) {
+	jobs := testJobs()
+	local, err := (&exp.Runner{Workers: 1}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Name:     "loopback",
+		LeaseTTL: 5 * time.Second,
+		Tracer:   trace.New("coordinator"),
+	}
+	co, url, stop := startFabric(t, cfg, 2, WorkerConfig{Trace: true})
+	client := &Client{URL: url, Name: "trace-client", Poll: 20 * time.Millisecond}
+	got, err := client.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("job %d: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(local[i].Result, got[i].Result) {
+			t.Errorf("job %d: traced fleet result diverged from untraced serial run", i)
+		}
+	}
+
+	campaign := co.Campaign()
+	if campaign == "" {
+		t.Fatal("coordinator minted no campaign ID")
+	}
+
+	// Phase-latency histograms on /metrics.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, m := range []string{
+		"tls_fleet_queue_wait_ms", "tls_fleet_lease_hold_ms",
+		"tls_fleet_attempt_wall_ms", "tls_fleet_result_delivery_ms",
+		"tls_fleet_spans_collected",
+	} {
+		if !strings.Contains(metrics, m) {
+			t.Errorf("/metrics missing %s", m)
+		}
+	}
+
+	// The merged fleet trace: coordinator lanes plus worker lanes.
+	spans := co.FleetSpans()
+	if len(spans) == 0 {
+		t.Fatal("no fleet spans collected")
+	}
+	byProc := map[string]int{}
+	withCampaign := 0
+	for _, sp := range spans {
+		byProc[sp.Proc]++
+		if sp.Campaign == campaign {
+			withCampaign++
+		}
+	}
+	if byProc["coordinator"] == 0 {
+		t.Error("no coordinator spans")
+	}
+	workerProcs := 0
+	for p := range byProc {
+		if p != "coordinator" {
+			workerProcs++
+		}
+	}
+	if workerProcs == 0 {
+		t.Errorf("no worker spans shipped home; procs: %v", byProc)
+	}
+	if withCampaign == 0 {
+		t.Error("no span carries the campaign ID")
+	}
+
+	kinds := map[string]bool{}
+	for _, sp := range spans {
+		kinds[sp.Kind] = true
+	}
+	for _, k := range []string{trace.KindQueue, trace.KindLease, trace.KindAttempt, trace.KindComplete} {
+		if !kinds[k] {
+			t.Errorf("fleet spans missing kind %q", k)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "fleet.trace.json")
+	if err := co.WriteFleetTrace(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := report.ValidatePerfetto(f)
+	if err != nil {
+		t.Fatalf("fleet trace does not validate: %v", err)
+	}
+	if st.Processes < 2 {
+		t.Errorf("fleet trace has %d processes, want coordinator + workers", st.Processes)
+	}
+	if st.FlowStarts == 0 {
+		t.Error("fleet trace has no lease→attempt→complete flow arrows")
+	}
+	if st.SpanIDs == 0 {
+		t.Error("fleet trace events carry no span correlation IDs")
+	}
+}
+
+// TestFleetTraceWithoutTracerErrors locks the no-tracer diagnostics: a
+// coordinator without a Tracer must refuse to write an empty fleet trace
+// rather than produce a file that validates but shows nothing.
+func TestFleetTraceWithoutTracerErrors(t *testing.T) {
+	co := NewCoordinator(Config{Name: "untraced"})
+	if err := co.WriteFleetTrace(nil, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("WriteFleetTrace succeeded with no spans")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/exp"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -128,6 +129,12 @@ type HeartbeatRequest struct {
 	Worker   string            `json:"worker"`
 	Leases   []uint64          `json:"leases"`
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Spans ships the worker's retained trace spans since the last
+	// successful heartbeat; the coordinator folds them into the merged fleet
+	// trace. A failed heartbeat requeues them locally, so spans are
+	// delivered at-least-zero, at-most-once — tracing is diagnostic cargo,
+	// never load-bearing state.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // HeartbeatResponse lists leases the worker should abandon: their jobs were
@@ -142,6 +149,11 @@ type CompleteRequest struct {
 	Lease  uint64   `json:"lease"`
 	Key    string   `json:"key"`
 	Env    Envelope `json:"env"`
+	// FinishedUS is when (µs since epoch, worker clock) the attempt
+	// finished; the coordinator derives result-delivery latency from it.
+	FinishedUS int64 `json:"finished_us,omitempty"`
+	// Spans ships the attempt's trace spans alongside the result.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges an outcome. Duplicate marks a result for a

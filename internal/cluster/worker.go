@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,12 @@ type WorkerConfig struct {
 	// per-worker and never part of a job's identity, so observed and
 	// unobserved workers produce identical results.
 	Observe bool
+	// Trace records every attempt, retry and quarantine as wall-clock spans
+	// (campaign/key/attempt correlation IDs, lease-ID flow tags) and ships
+	// them to the coordinator on heartbeats and completions, where they merge
+	// into the fleet Perfetto trace. Like Observe it cannot perturb results:
+	// spans live outside the simulated cycle domain.
+	Trace bool
 	// Metrics, when non-nil, accumulates local run statistics.
 	Metrics *exp.Metrics
 	// Logf, when non-nil, receives operational log lines.
@@ -79,8 +86,9 @@ func (c WorkerConfig) poll() time.Duration {
 // Worker pulls leased jobs from a coordinator, executes them through a
 // hardened exp.Runner, and streams results, releases and heartbeats back.
 type Worker struct {
-	cfg WorkerConfig
-	hc  *http.Client
+	cfg    WorkerConfig
+	hc     *http.Client
+	tracer *trace.Tracer // nil unless cfg.Trace
 
 	mu        sync.Mutex
 	cancels   map[uint64]context.CancelFunc // per-lease job cancellation
@@ -94,13 +102,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if hc == nil {
 		hc = httpClient(cfg.DialTimeout, cfg.RPCTimeout)
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:     cfg,
 		hc:      hc,
 		cancels: make(map[uint64]context.CancelFunc),
 		ttl:     30 * time.Second,
 	}
+	if cfg.Trace {
+		w.tracer = trace.New(cfg.Name)
+		w.tracer.Retain()
+	}
+	return w
 }
+
+// Tracer exposes the worker's tracer (nil when tracing is off), chiefly so
+// tests and post-mortems can read the flight recorder.
+func (w *Worker) Tracer() *trace.Tracer { return w.tracer }
 
 func (w *Worker) seed() uint64 {
 	if w.cfg.Seed != 0 {
@@ -245,6 +262,9 @@ func (w *Worker) runLease(ctx context.Context, l Lease) {
 		CheckpointDir:   w.cfg.CheckpointDir,
 		CheckpointEvery: w.cfg.CheckpointEvery,
 		Metrics:         w.cfg.Metrics,
+		Tracer:          w.tracer,
+		Campaign:        l.Spec.Campaign,
+		Flow:            l.ID,
 	}
 	results, _ := r.RunBatch(jobCtx, []exp.Job{job})
 	jr := results[0]
@@ -322,9 +342,13 @@ func (w *Worker) heartbeat() {
 		}
 	}
 	w.mu.Unlock()
+	// Ship retained spans with the heartbeat; a failed post requeues them so
+	// a flaky network delays the fleet trace instead of losing pieces of it.
+	spans := w.tracer.Drain()
 	var resp HeartbeatResponse
-	err := w.post("/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Leases: ids, Counters: counters}, &resp)
+	err := w.post("/v1/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, Leases: ids, Counters: counters, Spans: spans}, &resp)
 	if err != nil {
+		w.tracer.Requeue(spans)
 		return
 	}
 	for _, id := range resp.Cancel {
@@ -358,6 +382,10 @@ func (w *Worker) complete(ctx context.Context, l Lease, o Outcome) {
 		return
 	}
 	req := CompleteRequest{Worker: w.cfg.Name, Lease: l.ID, Key: o.Key, Env: env}
+	if w.tracer != nil {
+		req.FinishedUS = trace.UnixMicro(w.tracer.Now())
+		req.Spans = w.tracer.Drain()
+	}
 	bo := newBackoff(w.seed()^l.ID, 100*time.Millisecond, 2*time.Second)
 	for attempt := 0; attempt < 8; attempt++ {
 		var resp CompleteResponse
@@ -367,6 +395,7 @@ func (w *Worker) complete(ctx context.Context, l Lease, o Outcome) {
 		}
 		if attempt == 7 {
 			w.logf("worker %s: delivering %.12s failed: %v", w.cfg.Name, o.Key, err)
+			w.tracer.Requeue(req.Spans)
 			return
 		}
 		wait := bo.next()
@@ -377,6 +406,7 @@ func (w *Worker) complete(ctx context.Context, l Lease, o Outcome) {
 		if !w.sleep(ctx, wait) {
 			if w.post("/v1/complete", req, &resp) != nil {
 				w.logf("worker %s: delivering %.12s abandoned at drain (lease rides out in the journal)", w.cfg.Name, o.Key)
+				w.tracer.Requeue(req.Spans)
 			}
 			return
 		}

@@ -37,11 +37,16 @@ type ShardedQueue struct {
 	compactions uint64
 }
 
-// shardLane is one domain's share of the pending set.
+// shardLane is one domain's share of the pending set. fired and hiwater are
+// diagnostic counters (events fired from this lane, peak live occupancy);
+// they feed the per-lane PDES metrics surfaced by sim.ParallelStats and are
+// never read back by the merge loop, so they cannot perturb firing order.
 type shardLane struct {
-	heap eventHeap
-	live int
-	free *Event
+	heap    eventHeap
+	live    int
+	free    *Event
+	fired   uint64
+	hiwater int
 }
 
 // NewSharded returns a sharded queue with the given number of domains
@@ -68,6 +73,13 @@ func (q *ShardedQueue) Fired() uint64 { return q.fired }
 // Compactions returns how many lane compactions swept canceled entries.
 func (q *ShardedQueue) Compactions() uint64 { return q.compactions }
 
+// LaneFired returns the number of events fired from domain's lane.
+func (q *ShardedQueue) LaneFired(domain int) uint64 { return q.lanes[domain].fired }
+
+// LaneHighWater returns the peak live occupancy domain's lane has reached —
+// how many pending events the lane held at its busiest moment.
+func (q *ShardedQueue) LaneHighWater(domain int) int { return q.lanes[domain].hiwater }
+
 // NextSeq returns the sequence number the next scheduled event will get.
 func (q *ShardedQueue) NextSeq() uint64 { return q.nextSq }
 
@@ -87,6 +99,9 @@ func (q *ShardedQueue) At(domain int, when Time, fn func(now Time)) Handle {
 	q.nextSq++
 	heap.Push(&l.heap, e)
 	l.live++
+	if l.live > l.hiwater {
+		l.hiwater = l.live
+	}
 	q.live++
 	return Handle{e: e, seq: e.seq, when: when}
 }
@@ -218,6 +233,7 @@ func (q *ShardedQueue) Step() bool {
 	heap.Pop(&l.heap)
 	q.now = e.when
 	q.fired++
+	l.fired++
 	l.live--
 	q.live--
 	fn := e.fn
@@ -254,6 +270,7 @@ func (q *ShardedQueue) RunWindow(horizon Time, limit uint64) uint64 {
 		heap.Pop(&l.heap)
 		q.now = e.when
 		q.fired++
+		l.fired++
 		l.live--
 		q.live--
 		fn := e.fn
@@ -297,6 +314,9 @@ func (q *ShardedQueue) ScheduleAt(domain int, when Time, seq uint64, fn func(now
 	e.lane = int32(domain)
 	heap.Push(&l.heap, e)
 	l.live++
+	if l.live > l.hiwater {
+		l.hiwater = l.live
+	}
 	q.live++
 	return Handle{e: e, seq: seq, when: when}
 }

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"runtime/debug"
 	"strings"
@@ -133,7 +133,7 @@ func (c *Cache) logf(format string, args ...any) {
 		c.Logf(format, args...)
 		return
 	}
-	log.Printf(format, args...)
+	slog.Info(fmt.Sprintf(format, args...), "component", "cache")
 }
 
 // Heal runs the self-healing scan and returns its report. Scan failures are

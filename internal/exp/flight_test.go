@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// TestFlightRecorderDumpOnPanic is the panic post-mortem lock: a job that
+// panics through every retry must leave a quarantine manifest containing the
+// runner's flight-recorder dump — the last N spans with campaign and attempt
+// correlation — next to the checkpoints, with no tracer configured (the
+// always-on internal ring must cover the uninstrumented case).
+func TestFlightRecorderDumpOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{{Machine: nil, Profile: tinyProfile(), Seed: 1}} // nil machine panics
+	r := &Runner{Workers: 1, CheckpointDir: dir, Campaign: "camp-test-1"}
+	results, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("crashing job reported no error")
+	}
+	if r.QuarantineSize() != 1 {
+		t.Fatal("crashing job not quarantined")
+	}
+
+	path := filepath.Join(dir, jobs[0].Key()+".quarantine.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("quarantine manifest not written: %v", err)
+	}
+	var m QuarantineManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Key != jobs[0].Key() || m.Campaign != "camp-test-1" || m.Err == "" {
+		t.Fatalf("manifest header wrong: %+v", m)
+	}
+	if len(m.FlightRecorder) == 0 {
+		t.Fatal("manifest carries no flight-recorder spans")
+	}
+	kinds := map[string]int{}
+	for _, sp := range m.FlightRecorder {
+		kinds[sp.Kind]++
+		if sp.ID == 0 {
+			t.Fatal("flight-recorder span has no ID")
+		}
+	}
+	if kinds[trace.KindAttempt] == 0 {
+		t.Fatalf("flight recorder holds no attempt spans: %v", kinds)
+	}
+	if kinds[trace.KindRetry] == 0 {
+		t.Fatalf("flight recorder holds no retry spans: %v", kinds)
+	}
+	var sawCampaign, sawAttemptNo bool
+	for _, sp := range m.FlightRecorder {
+		if sp.Campaign == "camp-test-1" {
+			sawCampaign = true
+		}
+		if sp.Kind == trace.KindAttempt && sp.Attempt > 0 {
+			sawAttemptNo = true
+		}
+	}
+	if !sawCampaign || !sawAttemptNo {
+		t.Fatalf("spans missing correlation: campaign=%v attempt=%v", sawCampaign, sawAttemptNo)
+	}
+}
+
+// TestQuarantineManifestOnlyOnFirst checks the manifest is written once per
+// key: re-running the same quarantined job must not rewrite (and so not
+// truncate or clobber) the original post-mortem.
+func TestQuarantineManifestOnlyOnFirst(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{{Machine: nil, Profile: tinyProfile(), Seed: 2}}
+	r := &Runner{Workers: 1, CheckpointDir: dir}
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, jobs[0].Key()+".quarantine.json")
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("quarantine manifest rewritten on a repeat failure")
+	}
+}

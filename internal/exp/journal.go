@@ -50,6 +50,10 @@ type JournalRecord struct {
 	Wall string `json:"wall,omitempty"`
 	// Name labels the campaign (RecCampaign).
 	Name string `json:"name,omitempty"`
+	// Campaign is the campaign correlation ID (trace.MintCampaign) that ties
+	// this record to fleet spans, structured logs and fsck reports. Journals
+	// opened through SetCampaign stamp it on every record.
+	Campaign string `json:"campaign,omitempty"`
 	// Key is the job's content hash — the join key against the result cache
 	// and checkpoint files.
 	Key   string `json:"key,omitempty"`
@@ -81,12 +85,13 @@ type JournalRecord struct {
 // instead of retrying, because the kernel may have dropped the dirty pages
 // and a "successful" retry would acknowledge a record that is not on disk.
 type Journal struct {
-	mu     sync.Mutex
-	fs     iofault.FS
-	f      iofault.File
-	path   string
-	broken error            // sticky first append failure (fsyncgate poisoning)
-	now    func() time.Time // clock behind the Wall stamp (tests, replay drills)
+	mu       sync.Mutex
+	fs       iofault.FS
+	f        iofault.File
+	path     string
+	campaign string           // correlation ID stamped on every record
+	broken   error            // sticky first append failure (fsyncgate poisoning)
+	now      func() time.Time // clock behind the Wall stamp (tests, replay drills)
 }
 
 // OpenJournal opens (creating if necessary) the journal at path for
@@ -163,6 +168,21 @@ func (j *Journal) SetClock(now func() time.Time) {
 	j.now = now
 }
 
+// SetCampaign sets the campaign correlation ID stamped on every record
+// appended from now on (records that already carry one keep theirs).
+func (j *Journal) SetCampaign(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.campaign = id
+}
+
+// Campaign returns the correlation ID set by SetCampaign.
+func (j *Journal) Campaign() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.campaign
+}
+
 // Append durably writes one record: marshal, write the line, fsync. The
 // record is on disk when Append returns nil; after any write or sync error
 // the journal is poisoned and every later Append fails fast (see Broken).
@@ -174,6 +194,9 @@ func (j *Journal) Append(rec JournalRecord) error {
 	}
 	if rec.Wall == "" {
 		rec.Wall = j.now().UTC().Format(time.RFC3339)
+	}
+	if rec.Campaign == "" {
+		rec.Campaign = j.campaign
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -258,6 +281,9 @@ func ReadJournal(path string) ([]JournalRecord, error) {
 type CampaignState struct {
 	// Name is the campaign label from the header record, if any.
 	Name string
+	// Campaign is the correlation ID recovered from the journal's records,
+	// so tools (tlsfsck) can name the campaign they verified.
+	Campaign string
 	// Done holds the keys of jobs whose job-done record reported success;
 	// their results are in the cache (resume re-submits them and the cache
 	// answers instantly).
@@ -286,6 +312,9 @@ func ReplayJournal(recs []JournalRecord) CampaignState {
 		Outcomes:    make(map[string]json.RawMessage),
 	}
 	for _, rec := range recs {
+		if st.Campaign == "" && rec.Campaign != "" {
+			st.Campaign = rec.Campaign
+		}
 		switch rec.T {
 		case RecCampaign:
 			st.Name = rec.Name

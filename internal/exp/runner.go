@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/iofault"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -112,6 +114,20 @@ type Runner struct {
 	// inject an iofault.Injector here and into the journal and cache.
 	FS iofault.FS
 
+	// Tracer, when non-nil, records every attempt, retry, cache hit and
+	// quarantine as wall-clock spans (fleet workers pass their shipping
+	// tracer here). When nil, the runner still keeps an internal ring-only
+	// tracer: the flight recorder is always on, so quarantine manifests and
+	// stuck post-mortems carry the last spans even on untraced runs.
+	Tracer *trace.Tracer
+	// Campaign is the campaign correlation ID stamped on spans and journal
+	// records ("" when the runner is not part of a campaign).
+	Campaign string
+	// Flow tags this runner's spans with a cross-process correlation ID —
+	// fleet workers set it to the lease ID so the merged Perfetto trace
+	// draws lease→attempt→complete arrows. 0 means untagged.
+	Flow uint64
+
 	// execOverride replaces Job.Execute in tests (e.g. with a function that
 	// hangs, to exercise the watchdog).
 	execOverride func(Job) sim.Result
@@ -136,6 +152,27 @@ type Runner struct {
 	flights map[string]*flight
 	// flightWaits counts calls that joined an existing flight (test hook).
 	flightWaits atomic.Int64
+
+	// ringOnce guards the lazily built internal flight-recorder tracer used
+	// when no Tracer is configured.
+	ringOnce   sync.Once
+	ringTracer *trace.Tracer
+}
+
+// tracer returns the span sink: the configured Tracer, or the always-on
+// internal flight recorder (ring only, nothing retained or shipped).
+func (r *Runner) tracer() *trace.Tracer {
+	if r.Tracer != nil {
+		return r.Tracer
+	}
+	r.ringOnce.Do(func() { r.ringTracer = trace.New("runner") })
+	return r.ringTracer
+}
+
+// FlightRecorder returns the last spans the runner recorded (oldest first):
+// the always-on post-mortem view dumped into quarantine manifests.
+func (r *Runner) FlightRecorder() []trace.Span {
+	return r.tracer().Dump()
 }
 
 // flight is one in-progress execution of a job key: the leader closes done
@@ -264,6 +301,10 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	if cause := r.quarantinedCause(j); cause != nil {
 		jr.Quarantined = true
 		jr.Err = fmt.Errorf("job %s: %w: %w", j.Label(), ErrJobQuarantined, cause)
+		r.tracer().Instant(trace.Span{
+			Name: j.Label(), Kind: trace.KindQuarantine, Campaign: r.Campaign,
+			Key: j.Key(), Flow: r.Flow, Err: cause.Error(), Note: "screened",
+		})
 		return jr
 	}
 	// Chaotic jobs bypass the cache: their verdict is not part of sim.Result,
@@ -272,6 +313,10 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	if useCache {
 		if res, ok := r.Cache.Get(j); ok {
 			jr.Result, jr.Cached = res, true
+			r.tracer().Instant(trace.Span{
+				Name: j.Label(), Kind: trace.KindCacheHit, Campaign: r.Campaign,
+				Key: j.Key(), Flow: r.Flow,
+			})
 			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Cached: true})
 			return jr
 		}
@@ -304,7 +349,16 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 	start := time.Now()
 	maxAttempts := 1 + r.retries()
 	for jr.Attempts = 1; ; jr.Attempts++ {
+		attemptStart := r.tracer().Now()
 		res, verdict, err := r.attempt(ctx, j)
+		attemptSpan := trace.Span{
+			Name: j.Label(), Kind: trace.KindAttempt, Campaign: r.Campaign,
+			Key: j.Key(), Attempt: jr.Attempts, Flow: r.Flow,
+		}
+		if err != nil {
+			attemptSpan.Err = err.Error()
+		}
+		r.tracer().Since(attemptStart, attemptSpan)
 		if err == nil {
 			jr.Result, jr.Chaos, jr.Err, jr.TimedOut = res, verdict, nil, false
 			if useCache {
@@ -342,6 +396,10 @@ func (r *Runner) runJob(ctx context.Context, j Job) JobResult {
 			r.journalAppend(JournalRecord{T: RecJobDone, Key: j.Key(), Label: j.Label(), Err: err.Error()})
 			break
 		}
+		r.tracer().Instant(trace.Span{
+			Name: j.Label(), Kind: trace.KindRetry, Campaign: r.Campaign,
+			Key: j.Key(), Attempt: jr.Attempts, Flow: r.Flow, Err: err.Error(),
+		})
 		if !r.backoff(ctx, jr.Attempts) {
 			break
 		}
@@ -374,6 +432,9 @@ func (r *Runner) journalAppend(rec JournalRecord) {
 	if r.Journal == nil {
 		return
 	}
+	if rec.Campaign == "" {
+		rec.Campaign = r.Campaign
+	}
 	if err := r.Journal.Append(rec); err != nil && r.Metrics != nil {
 		r.Metrics.journalAppendFailed()
 	}
@@ -397,7 +458,12 @@ func (r *Runner) prepare(j Job) *jobRun {
 	if r.execOverride != nil || (r.CheckpointDir == "" && len(r.Resume) == 0) {
 		return &jobRun{run: func() (sim.Result, *ChaosVerdict, error) { return runIsolated(j, r.execOverride) }}
 	}
-	s, plan := j.build()
+	s, plan, berr := buildSafely(j)
+	if berr != nil {
+		// A construction panic (nil machine, malformed profile) must fail the
+		// attempt like the isolated path does, not unwind the worker goroutine.
+		return &jobRun{run: func() (sim.Result, *ChaosVerdict, error) { return sim.Result{}, nil, berr }}
+	}
 	if path, ok := r.Resume[j.Key()]; ok {
 		if ck, err := sim.ReadCheckpointFile(path); err == nil {
 			if rerr := s.Restore(ck); rerr != nil {
@@ -444,6 +510,20 @@ func (r *Runner) prepare(j Job) *jobRun {
 		return res, j.verdict(s, plan), nil
 	}
 	return jr
+}
+
+// buildSafely constructs the job's simulator, converting a construction
+// panic into the same "panicked" error shape the isolated run path reports,
+// so retry/quarantine handling is uniform across both paths.
+func buildSafely(j Job) (s *sim.Simulator, plan *fault.Plan, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, plan = nil, nil
+			err = fmt.Errorf("simulation %s panicked: %v\n%s", j.Label(), p, debug.Stack())
+		}
+	}()
+	s, plan = j.build()
+	return s, plan, nil
 }
 
 // attempt executes one try of the job, under the watchdog when a deadline
@@ -496,10 +576,29 @@ func (r *Runner) attempt(ctx context.Context, j Job) (sim.Result, *ChaosVerdict,
 	}
 }
 
+// stuckReport is the watchdog post-mortem document: where the stuck run
+// was, plus both flight recorders — the runner's orchestration spans and the
+// simulator's last cycle-domain events.
+type stuckReport struct {
+	Progress any `json:"progress"`
+	// Campaign ties the post-mortem to its campaign's journal and spans.
+	Campaign string `json:"campaign,omitempty"`
+	// FlightRecorder is the runner's last spans (wall-clock domain).
+	FlightRecorder []trace.Span `json:"flight_recorder,omitempty"`
+	// SimFlightRecorder is the simulator's last trace events (cycle domain).
+	SimFlightRecorder []sim.FlightEntry `json:"sim_flight_recorder,omitempty"`
+}
+
 // dumpProgress writes the watchdog post-mortem: where the stuck run was.
 // Called from the simulation's own goroutine (inside the checkpoint sink).
 func (r *Runner) dumpProgress(j Job, s *sim.Simulator) {
-	data, err := json.MarshalIndent(s.ProgressReport(), "", "  ")
+	rep := stuckReport{
+		Progress:          s.ProgressReport(),
+		Campaign:          r.Campaign,
+		FlightRecorder:    r.FlightRecorder(),
+		SimFlightRecorder: s.FlightRecorder(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return
 	}
@@ -571,16 +670,59 @@ func (r *Runner) quarantinedCause(j Job) error {
 	return r.quarantine[j.Key()]
 }
 
-// quarantineJob records a permanent failure so identical jobs fail fast.
+// quarantineJob records a permanent failure so identical jobs fail fast,
+// emits the quarantine span, and — when a checkpoint directory exists —
+// writes the quarantine manifest with the flight recorder's last spans, the
+// post-mortem of how the job died.
 func (r *Runner) quarantineJob(j Job, err error) {
 	r.qmu.Lock()
-	defer r.qmu.Unlock()
 	if r.quarantine == nil {
 		r.quarantine = make(map[string]error)
 	}
+	first := false
 	if _, ok := r.quarantine[j.Key()]; !ok {
 		r.quarantine[j.Key()] = err
+		first = true
 	}
+	r.qmu.Unlock()
+	if !first {
+		return
+	}
+	r.tracer().Instant(trace.Span{
+		Name: j.Label(), Kind: trace.KindQuarantine, Campaign: r.Campaign,
+		Key: j.Key(), Flow: r.Flow, Err: err.Error(),
+	})
+	r.writeQuarantineManifest(j, err)
+}
+
+// QuarantineManifest is the post-mortem written beside the checkpoints when
+// a job is quarantined: what failed, in which campaign, and the flight
+// recorder's last spans leading up to the failure.
+type QuarantineManifest struct {
+	Key      string `json:"key"`
+	Label    string `json:"label"`
+	Campaign string `json:"campaign,omitempty"`
+	Err      string `json:"err"`
+	// FlightRecorder is the runner's span ring at quarantine time, oldest
+	// first: attempts, retries and decisions with correlation IDs.
+	FlightRecorder []trace.Span `json:"flight_recorder,omitempty"`
+}
+
+func (r *Runner) writeQuarantineManifest(j Job, cause error) {
+	if r.CheckpointDir == "" {
+		return
+	}
+	m := QuarantineManifest{
+		Key: j.Key(), Label: j.Label(), Campaign: r.Campaign,
+		Err:            cause.Error(),
+		FlightRecorder: r.FlightRecorder(),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return
+	}
+	r.fsys().MkdirAll(r.CheckpointDir, 0o755)
+	iofault.WriteFileAtomic(r.fsys(), filepath.Join(r.CheckpointDir, j.Key()+".quarantine.json"), data, 0o644)
 }
 
 // QuarantineSize returns how many distinct jobs have been quarantined.

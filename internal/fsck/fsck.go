@@ -45,6 +45,10 @@ type Options struct {
 
 // Report is the outcome of one fsck run.
 type Report struct {
+	// Campaign names the campaign this state belongs to: the correlation ID
+	// stamped into the journal's records, with the header's human label in
+	// parentheses when both are present.
+	Campaign string `json:"campaign,omitempty"`
 	// JournalRecords counts well-formed records replayed from the journal.
 	JournalRecords int `json:"journal_records"`
 	// JournalTornBytes is the length of the incomplete tail line, if any.
@@ -81,8 +85,12 @@ func (r *Report) Summary() string {
 	if !r.Clean() {
 		status = fmt.Sprintf("%d problems", len(r.Problems))
 	}
-	return fmt.Sprintf("fsck: %s (%d journal records, %d torn bytes, cache %d/%d valid, %d checkpoints valid, %d repairs, %d warnings)",
-		status, r.JournalRecords, r.JournalTornBytes, r.CacheValid, r.CacheScanned,
+	who := ""
+	if r.Campaign != "" {
+		who = fmt.Sprintf(" campaign %s:", r.Campaign)
+	}
+	return fmt.Sprintf("fsck:%s %s (%d journal records, %d torn bytes, cache %d/%d valid, %d checkpoints valid, %d repairs, %d warnings)",
+		who, status, r.JournalRecords, r.JournalTornBytes, r.CacheValid, r.CacheScanned,
 		r.CheckpointsValid, len(r.Repairs), len(r.Warnings))
 }
 
@@ -180,6 +188,12 @@ func (c *checker) checkJournal() (exp.CampaignState, error) {
 	}
 	c.rep.JournalRecords = len(recs)
 	state := exp.ReplayJournal(recs)
+	switch {
+	case state.Campaign != "":
+		c.rep.Campaign = state.Campaign
+	case state.Name != "":
+		c.rep.Campaign = state.Name
+	}
 	c.rep.DoneJobs = len(state.Done)
 	c.rep.LeasedJobs = len(state.Leases)
 	for key, w := range state.Leases {

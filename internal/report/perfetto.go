@@ -167,14 +167,22 @@ type PerfettoStats struct {
 	FlowEnds      int
 	CounterEvents int
 	CounterTracks int // distinct counter names
-	ExecLanes     int // distinct exec-lane tids carrying slices
+	ExecLanes     int // distinct exec lanes (pid, tid) carrying slices
 	Metadata      int
+	Processes     int // distinct pids (1 for a sim export, one per fleet process)
+	SpanIDs       int // distinct args.span correlation IDs
 }
 
-// ValidatePerfetto parses trace-event JSON produced by ExportPerfetto (or
-// any conforming producer) and checks its schema: a traceEvents array whose
-// records carry a known phase, with paired flow arrows and non-negative
-// times. It returns per-phase statistics for further assertions.
+// ValidatePerfetto parses trace-event JSON produced by ExportPerfetto, the
+// fleet exporter (trace.ExportPerfetto), or any conforming producer and
+// checks its schema: a traceEvents array whose records carry a known phase,
+// with paired flow arrows and non-negative times. It understands both the
+// single-process sim layout (pid 0, commit lanes offset by commitLaneBase)
+// and the multi-process fleet layout (one pid per coordinator/worker):
+// exec lanes are keyed by (pid, tid), and span correlation IDs stamped in
+// args.span must be unique across the whole file — a duplicate means two
+// processes minted colliding IDs and the merged trace is untrustworthy. It
+// returns per-phase statistics for further assertions.
 func ValidatePerfetto(r io.Reader) (PerfettoStats, error) {
 	var st PerfettoStats
 	var f struct {
@@ -188,7 +196,10 @@ func ValidatePerfetto(r io.Reader) (PerfettoStats, error) {
 		return st, fmt.Errorf("report: perfetto: no traceEvents array")
 	}
 	counters := map[string]bool{}
-	execLanes := map[int]bool{}
+	type lane struct{ pid, tid int }
+	execLanes := map[lane]bool{}
+	pids := map[int]bool{}
+	spans := map[string]int{} // span ID -> first event index
 	for i, ev := range f.TraceEvents {
 		var ph string
 		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil {
@@ -200,6 +211,13 @@ func ValidatePerfetto(r io.Reader) (PerfettoStats, error) {
 				return st, fmt.Errorf("report: perfetto: event %d: bad name: %v", i, err)
 			}
 		}
+		pid := 0
+		if raw, ok := ev["pid"]; ok {
+			if err := json.Unmarshal(raw, &pid); err != nil {
+				return st, fmt.Errorf("report: perfetto: event %d: bad pid: %v", i, err)
+			}
+		}
+		pids[pid] = true
 		if ph != "M" { // metadata events carry no timestamp requirement
 			var ts float64
 			if raw, ok := ev["ts"]; !ok || json.Unmarshal(raw, &ts) != nil {
@@ -208,13 +226,24 @@ func ValidatePerfetto(r io.Reader) (PerfettoStats, error) {
 				return st, fmt.Errorf("report: perfetto: event %d (%s): negative ts", i, ph)
 			}
 		}
+		if raw, ok := ev["args"]; ok {
+			var args struct {
+				Span string `json:"span"`
+			}
+			if json.Unmarshal(raw, &args) == nil && args.Span != "" {
+				if first, dup := spans[args.Span]; dup {
+					return st, fmt.Errorf("report: perfetto: event %d: span ID %s duplicates event %d — cross-process ID collision", i, args.Span, first)
+				}
+				spans[args.Span] = i
+			}
+		}
 		st.Events++
 		switch ph {
 		case "X":
 			st.Slices++
 			var tid int
 			if raw, ok := ev["tid"]; ok && json.Unmarshal(raw, &tid) == nil && tid < commitLaneBase {
-				execLanes[tid] = true
+				execLanes[lane{pid, tid}] = true
 			}
 		case "i", "I":
 			st.Instants++
@@ -238,5 +267,7 @@ func ValidatePerfetto(r io.Reader) (PerfettoStats, error) {
 	}
 	st.CounterTracks = len(counters)
 	st.ExecLanes = len(execLanes)
+	st.Processes = len(pids)
+	st.SpanIDs = len(spans)
 	return st, nil
 }

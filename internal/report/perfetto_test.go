@@ -72,11 +72,40 @@ func TestValidatePerfettoRejectsGarbage(t *testing.T) {
 		"bad phase":      `{"traceEvents":[{"ph":"Z","ts":1,"pid":0,"tid":0}]}`,
 		"missing ts":     `{"traceEvents":[{"ph":"X","pid":0,"tid":0}]}`,
 		"unpaired flow":  `{"traceEvents":[{"ph":"s","id":"1","ts":1,"pid":0,"tid":0}]}`,
+		"duplicate span across processes": `{"traceEvents":[
+			{"ph":"X","ts":1,"dur":2,"pid":0,"tid":0,"args":{"span":"42"}},
+			{"ph":"i","ts":5,"pid":1,"tid":0,"s":"t","args":{"span":"42"}}]}`,
 	}
 	for name, in := range cases {
 		if _, err := ValidatePerfetto(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: validated but should not", name)
 		}
+	}
+}
+
+// TestValidatePerfettoMultiProcess checks the fleet layout: one pid per
+// process, exec lanes keyed by (pid, tid) so same-numbered tids on
+// different pids count separately, and distinct span IDs tallied.
+func TestValidatePerfettoMultiProcess(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"coordinator"}},
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker-1"}},
+		{"ph":"X","ts":0,"dur":3,"pid":0,"tid":0,"args":{"span":"1"}},
+		{"ph":"X","ts":1,"dur":2,"pid":1,"tid":0,"args":{"span":"4294967297"}},
+		{"ph":"s","id":"7","cat":"fleet-flow","ts":0,"pid":0,"tid":0},
+		{"ph":"f","id":"7","cat":"fleet-flow","bp":"e","ts":3,"pid":1,"tid":0}]}`
+	st, err := ValidatePerfetto(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes != 2 {
+		t.Errorf("processes = %d, want 2", st.Processes)
+	}
+	if st.ExecLanes != 2 {
+		t.Errorf("exec lanes = %d, want 2 (tid 0 on two pids)", st.ExecLanes)
+	}
+	if st.SpanIDs != 2 {
+		t.Errorf("span IDs = %d, want 2", st.SpanIDs)
 	}
 }
 

@@ -71,6 +71,50 @@ func TestObserverEffectFreedom(t *testing.T) {
 	}
 }
 
+// TestObserverEffectFreedomParallel extends the observer-effect lock to the
+// parallel simulation core: with obs AND tracing on, a -parallel {2,8} run
+// must produce a Result identical to an obs-off serial run. The flight
+// recorder is always-on in every one of these runs, so this also locks its
+// zero-observer-effect property.
+func TestObserverEffectFreedomParallel(t *testing.T) {
+	apps := []workload.Profile{obsTestProfile(), workload.StandardScale(workload.Tree())}
+	schemes := []core.Scheme{core.MultiTMVLazy, core.MultiTMVFMM}
+	for _, prof := range apps {
+		for _, scheme := range schemes {
+			baseSim := New(machine.CMP8(), scheme, workload.NewGenerator(prof, 99))
+			baseSim.EnableTrace()
+			base := baseSim.Run()
+			if len(baseSim.FlightRecorder()) == 0 {
+				t.Fatal("flight recorder recorded nothing")
+			}
+
+			for _, workers := range []int{2, 8} {
+				parSim := New(machine.CMP8(), scheme, workload.NewGenerator(prof, 99))
+				parSim.SetParallel(workers)
+				parSim.EnableTrace()
+				parSim.Observe(obs.Config{Registry: obs.NewRegistry(), SamplePeriod: 500})
+				got := parSim.Run()
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s/%v -parallel %d: observed+traced parallel run diverged from obs-off serial run",
+						prof.Name, scheme, workers)
+				}
+				st := parSim.ParallelStats()
+				if st.Windows == 0 {
+					t.Errorf("%s/%v -parallel %d: no conservative windows counted", prof.Name, scheme, workers)
+				}
+				var laneTotal uint64
+				for _, n := range st.LaneFired {
+					laneTotal += n
+				}
+				if laneTotal != got.Events {
+					t.Errorf("%s/%v -parallel %d: lanes fired %d events, result says %d",
+						prof.Name, scheme, workers, laneTotal, got.Events)
+				}
+			}
+		}
+	}
+}
+
 // TestObserveIsDeterministic locks the registry and series themselves: two
 // observed runs of the same inputs must agree metric for metric, row for row.
 func TestObserveIsDeterministic(t *testing.T) {

@@ -84,9 +84,69 @@ func (s *Simulator) runParallel() uint64 {
 		if s.pf != nil && !s.done {
 			s.pf.aim(s.next)
 		}
-		fired += s.sq.RunWindow(head+s.window, eventLimit-fired)
+		n := s.sq.RunWindow(head+s.window, eventLimit-fired)
+		fired += n
+		s.parWindows++
+		if n <= 1 {
+			// A window that fires at most one event paid a full merge-loop
+			// round (frontier scan + window setup) for no batching: the
+			// conservative window stalled on the lookahead bound.
+			s.parStalls++
+		}
 	}
 	return fired
+}
+
+// ParallelStats is the diagnostic counter set of one parallel-mode run: how
+// the conservative windows batched, how evenly the lanes fired, and how the
+// workload prefetcher kept ahead of the dispatch cursor. It is pure
+// observability — none of these counters feed back into the simulation, and
+// none are part of Result — surfaced so tlsbench output can localize a
+// parallel-mode slowdown (stalling windows vs. lane imbalance vs. prefetch
+// misses) without a profiler. Zero-valued for serial runs.
+type ParallelStats struct {
+	Workers     int        `json:"workers"`
+	WindowWidth event.Time `json:"window_width"`
+	// Windows is the number of conservative synchronization windows the
+	// merge loop ran; StallWindows counts those that fired ≤1 event — rounds
+	// whose frontier-scan overhead bought no batching.
+	Windows      uint64 `json:"windows"`
+	StallWindows uint64 `json:"stall_windows"`
+	// LaneFired and LaneHighWater are per-lane (per simulated processor)
+	// totals: events fired from the lane and its peak pending occupancy.
+	LaneFired     []uint64 `json:"lane_fired,omitempty"`
+	LaneHighWater []int    `json:"lane_high_water,omitempty"`
+	Compactions   uint64   `json:"compactions"`
+	// Prefetcher effectiveness: a hit is a dispatch whose stream a worker
+	// pregenerated, a miss computed inline on the merge goroutine.
+	PrefetchHits           uint64 `json:"prefetch_hits"`
+	PrefetchMisses         uint64 `json:"prefetch_misses"`
+	PrefetchDepthHighWater int    `json:"prefetch_depth_high_water"`
+}
+
+// ParallelStats snapshots the parallel-mode counters. Call after Run; the
+// zero value is returned for serial runs.
+func (s *Simulator) ParallelStats() ParallelStats {
+	if s.parN == 0 || s.sq == nil {
+		return ParallelStats{}
+	}
+	st := ParallelStats{
+		Workers:      s.parN,
+		WindowWidth:  s.window,
+		Windows:      s.parWindows,
+		StallWindows: s.parStalls,
+		Compactions:  s.sq.Compactions(),
+	}
+	st.LaneFired = make([]uint64, s.sq.Domains())
+	st.LaneHighWater = make([]int, s.sq.Domains())
+	for i := 0; i < s.sq.Domains(); i++ {
+		st.LaneFired[i] = s.sq.LaneFired(i)
+		st.LaneHighWater[i] = s.sq.LaneHighWater(i)
+	}
+	if s.pf != nil {
+		st.PrefetchHits, st.PrefetchMisses, st.PrefetchDepthHighWater = s.pf.stats()
+	}
+	return st
 }
 
 // The q* helpers below are the queue facade: every scheduling and
@@ -175,6 +235,12 @@ type prefetcher struct {
 	entries map[int]*pfEntry // in-flight and ready streams, by task index
 	closed  bool
 
+	// Diagnostic counters for ParallelStats: hits/misses tally take()
+	// outcomes, depthHiwater the peak in-flight entry count.
+	hits         uint64
+	misses       uint64
+	depthHiwater int
+
 	work chan pfItem
 	wg   sync.WaitGroup
 }
@@ -261,6 +327,9 @@ func (pf *prefetcher) enqueueLocked(idx int) bool {
 	select {
 	case pf.work <- pfItem{idx: idx, e: e}:
 		pf.entries[idx] = e
+		if len(pf.entries) > pf.depthHiwater {
+			pf.depthHiwater = len(pf.entries)
+		}
 		return true
 	default:
 		return false
@@ -276,6 +345,11 @@ func (pf *prefetcher) take(idx int) []workload.Op {
 	if e != nil {
 		delete(pf.entries, idx)
 	}
+	if e == nil {
+		pf.misses++
+	} else {
+		pf.hits++
+	}
 	pf.mu.Unlock()
 	if e == nil {
 		ops, _ := pf.gen.Task(idx, nil)
@@ -283,6 +357,13 @@ func (pf *prefetcher) take(idx int) []workload.Op {
 	}
 	<-e.done
 	return e.ops
+}
+
+// stats snapshots the prefetcher's diagnostic counters.
+func (pf *prefetcher) stats() (hits, misses uint64, depthHiwater int) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.hits, pf.misses, pf.depthHiwater
 }
 
 // close stops the workers and waits for them. Entries still in the channel

@@ -123,6 +123,11 @@ type Simulator struct {
 
 	tracing         bool
 	traceLog        []TraceEvent
+	flight          [flightRingSize]FlightEntry
+	flightNext      int
+	flightSeen      uint64
+	parWindows      uint64
+	parStalls       uint64
 	lineGranularity bool
 	orbCommit       bool
 	forceMTID       bool

@@ -73,7 +73,49 @@ func (e TraceEvent) Distance() int {
 // EnableTrace turns on timeline recording; call before Run.
 func (s *Simulator) EnableTrace() { s.tracing = true }
 
+// FlightEntry is one record of the simulator's always-on flight recorder: a
+// fixed ring of the last flightRingSize trace events, recorded whether or
+// not full tracing is enabled. When a run hangs or violates an invariant,
+// the ring is the post-mortem — what the simulator was doing right before it
+// died — dumped into .progress.json reports and quarantine manifests.
+//
+// Recording is a value write into a preallocated array (no allocation, no
+// locking — the event loop is single-goroutine even in parallel mode, where
+// shard lanes are merged before handlers run), and it never feeds back into
+// simulation state, preserving the no-observer-effect guarantee.
+type FlightEntry struct {
+	When event.Time `json:"when"`
+	Kind string     `json:"kind"`
+	Task ids.TaskID `json:"task"`
+	Proc ids.ProcID `json:"proc"`
+}
+
+// flightRingSize is the sim flight recorder depth: the last few scheduling
+// rounds' worth of events, enough to see the pattern a hang froze in.
+const flightRingSize = 64
+
+func (s *Simulator) flightRecord(when event.Time, kind TraceKind, t *task) {
+	s.flight[s.flightNext] = FlightEntry{When: when, Kind: kind.String(), Task: t.id, Proc: t.proc}
+	s.flightNext = (s.flightNext + 1) % flightRingSize
+	s.flightSeen++
+}
+
+// FlightRecorder returns the flight recorder's contents, oldest first.
+func (s *Simulator) FlightRecorder() []FlightEntry {
+	n := uint64(flightRingSize)
+	if s.flightSeen < n {
+		out := make([]FlightEntry, s.flightSeen)
+		copy(out, s.flight[:s.flightSeen])
+		return out
+	}
+	out := make([]FlightEntry, 0, flightRingSize)
+	out = append(out, s.flight[s.flightNext:]...)
+	out = append(out, s.flight[:s.flightNext]...)
+	return out
+}
+
 func (s *Simulator) trace(when event.Time, kind TraceKind, t *task) {
+	s.flightRecord(when, kind, t)
 	if !s.tracing {
 		return
 	}
@@ -82,6 +124,7 @@ func (s *Simulator) trace(when event.Time, kind TraceKind, t *task) {
 
 // traceSquash records a squash with its cause attribution.
 func (s *Simulator) traceSquash(when event.Time, t *task, word memsys.Addr, writer ids.TaskID, wasted event.Time) {
+	s.flightRecord(when, TraceSquash, t)
 	if !s.tracing {
 		return
 	}
